@@ -1,0 +1,164 @@
+// Ablation benchmarks for the design choices DESIGN.md §7 calls out: the
+// §6 hardware enhancements, the §3.4 failure-physics comparison, the RFE
+// feature-count choice, the severity-weight choice and the split-variance
+// of the §4.3 results under cross-validation.
+package xvolt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xvolt/internal/core"
+	"xvolt/internal/experiments"
+	"xvolt/internal/predict"
+	"xvolt/internal/regress"
+	"xvolt/internal/silicon"
+	"xvolt/internal/stressmark"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// BenchmarkAblationDesignEnhancements quantifies §6: DECTED's CE-only
+// band, adaptive clocking's margin gain, and per-PMD rails' extra savings.
+func BenchmarkAblationDesignEnhancements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.DesignEnhancements(benchOpts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(e.StrongECC.CEOnlyBand), "dected-ce-band-mV")
+		b.ReportMetric(float64(e.Baseline.SafeVmin-e.Adaptive.SafeVmin), "adaptive-gain-mV")
+		b.ReportMetric((e.PerPMDRailSavings-e.SharedRailSavings)*100, "per-pmd-gain-%")
+	}
+}
+
+// BenchmarkAblationItaniumModel compares the two failure-physics models
+// (§3.4): the Itanium-like mode must expose a wide CE-only band.
+func BenchmarkAblationItaniumModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ItaniumComparison(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].CEOnlyBand), "xgene-ce-band-mV")
+		b.ReportMetric(float64(rows[1].CEOnlyBand), "itanium-ce-band-mV")
+	}
+}
+
+// severityDataset builds the case-2 dataset once for the RFE/weights/CV
+// ablations.
+var (
+	sevOnce sync.Once
+	sevData *regress.Dataset
+	sevErr  error
+)
+
+func severityDataset(b *testing.B) *regress.Dataset {
+	b.Helper()
+	sevOnce.Do(func() {
+		fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+		cfg := core.DefaultConfig(workload.PredictionSuite(), []int{0})
+		cfg.Runs = benchOpts.Runs
+		cfg.Seed = benchOpts.Seed
+		results, err := fw.Characterize(cfg)
+		if err != nil {
+			sevErr = err
+			return
+		}
+		profiles := predict.CollectProfiles(workload.PredictionSuite(), 7)
+		sevData, sevErr = predict.BuildSeverityDataset(results, profiles, 0, core.PaperWeights, 100)
+	})
+	if sevErr != nil {
+		b.Fatal(sevErr)
+	}
+	return sevData
+}
+
+// BenchmarkAblationRFEFeatureCount sweeps the RFE survivor count for the
+// severity model: the paper picked 5 and found more added nothing.
+func BenchmarkAblationRFEFeatureCount(b *testing.B) {
+	d := severityDataset(b)
+	for i := 0; i < b.N; i++ {
+		for _, keep := range []int{1, 3, 5, 10} {
+			pipe := predict.DefaultPipeline()
+			pipe.KeepFeatures = keep
+			res, err := pipe.Run(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.R2, "R2-keep"+string(rune('0'+keep/10))+string(rune('0'+keep%10)))
+		}
+	}
+}
+
+// BenchmarkAblationCrossValidation measures the fold-to-fold variance of
+// the case-2 result under 5-fold CV with in-fold RFE — how much the
+// single 80/20 split of the paper could have wiggled.
+func BenchmarkAblationCrossValidation(b *testing.B) {
+	d := severityDataset(b)
+	for i := 0; i < b.N; i++ {
+		cv, err := regress.CrossValidate(d, 5, 5, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cv.MeanR2, "mean-R2")
+		b.ReportMetric(cv.StdR2, "std-R2")
+	}
+}
+
+// BenchmarkAblationSeverityWeights compares the Table 4 weights against a
+// flat weighting: the ranking of mitigation classes must be weight-driven.
+func BenchmarkAblationSeverityWeights(b *testing.B) {
+	flat := core.Weights{SDC: 1, CE: 1, UE: 1, AC: 1, SC: 1}
+	tallies := []core.Tally{
+		{N: 10, CE: 10},
+		{N: 10, SDC: 10},
+		{N: 10, SC: 10},
+	}
+	for i := 0; i < b.N; i++ {
+		var spreadPaper, spreadFlat float64
+		for _, t := range tallies {
+			spreadPaper += t.Severity(core.PaperWeights)
+			spreadFlat += t.Severity(flat)
+		}
+		b.ReportMetric(spreadPaper, "paper-weight-mass")
+		b.ReportMetric(spreadFlat, "flat-weight-mass")
+	}
+}
+
+// BenchmarkAblationIterativeExecution quantifies §2.2.1's repetition
+// argument: the Vmin-estimate spread as a function of runs per step.
+func BenchmarkAblationIterativeExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.IterationStudy(3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.WorstVmin), "worst-mV-runs"+string(rune('0'+r.Runs/10))+string(rune('0'+r.Runs%10)))
+		}
+	}
+}
+
+// BenchmarkAblationStressmark searches the worst-case workload and reports
+// how far above the SPEC ceiling it lands.
+func BenchmarkAblationStressmark(b *testing.B) {
+	chip := silicon.NewChip(silicon.TTT, 1)
+	for i := 0; i < b.N; i++ {
+		res := stressmark.Search(chip, 4, stressmark.Options{Seed: 1})
+		b.ReportMetric(float64(res.PredictedVmin), "stressmark-mV")
+		b.ReportMetric(float64(res.Iterations), "evals")
+	}
+}
+
+// BenchmarkAblationPhasedGoverning reports the per-phase governing gain.
+func BenchmarkAblationPhasedGoverning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.PhasedGoverning(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((p.PhasedSavings-p.WholeSavings)*100, "phase-gain-%")
+	}
+}

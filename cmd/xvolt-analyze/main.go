@@ -1,0 +1,85 @@
+// Command xvolt-analyze reduces saved characterization CSVs (written by
+// xvolt-characterize or examples/campaign) to the study's statistics:
+// per-chip/per-core/per-benchmark Vmin distributions, guardband histogram,
+// unsafe-region widths and cross-chip pattern correlation.
+//
+// Usage:
+//
+//	xvolt-analyze results-TTT.csv results-TFF.csv results-TSS.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xvolt/internal/analysis"
+	"xvolt/internal/core"
+	"xvolt/internal/csvutil"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xvolt-analyze <results.csv> [...]")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, paths []string) error {
+	var all []*core.CampaignResult
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		results, err := csvutil.ReadCampaigns(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, results...)
+	}
+	fmt.Fprintf(out, "loaded %d campaigns from %d file(s)\n\n", len(all), len(paths))
+
+	byChip, err := analysis.VminByChip(all)
+	if err != nil {
+		return err
+	}
+	analysis.Render(out, "Vmin distribution per chip", byChip)
+
+	byCore, err := analysis.VminByCore(all)
+	if err != nil {
+		return err
+	}
+	analysis.Render(out, "Vmin distribution per core", byCore)
+
+	byBench, err := analysis.VminByBenchmark(all)
+	if err != nil {
+		return err
+	}
+	analysis.Render(out, "Vmin distribution per benchmark", byBench)
+
+	if width, err := analysis.UnsafeWidthStats(all); err == nil {
+		analysis.Render(out, "unsafe-region width (mV)", []analysis.VminStats{width})
+	}
+
+	if hist, err := analysis.GuardbandHistogram(all, 20, 200); err == nil {
+		fmt.Fprintln(out, "guardband histogram (20 mV bins from 0)")
+		for i, n := range hist {
+			fmt.Fprintf(out, "  %3d-%3d mV: %d\n", i*20, (i+1)*20, n)
+		}
+	}
+
+	if corr, err := analysis.ChipCorrelation(all); err == nil {
+		analysis.RenderCorrelation(out, corr)
+	} else {
+		fmt.Fprintln(out, "cross-chip correlation: needs >= 2 chips with >= 3 shared benchmarks")
+	}
+	return nil
+}

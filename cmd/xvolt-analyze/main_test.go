@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xvolt/internal/core"
+	"xvolt/internal/csvutil"
+	"xvolt/internal/silicon"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// writeStudy characterizes a small study on one chip and saves its CSV.
+func writeStudy(t *testing.T, corner silicon.Corner, seed int64, path string) {
+	t.Helper()
+	fw := core.New(xgene.New(silicon.NewChip(corner, seed)))
+	specs := workload.PrimarySuite()[:4]
+	cfg := core.DefaultConfig(specs, []int{0, 4})
+	cfg.Runs = 3
+	results, err := fw.Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := csvutil.WriteCampaigns(f, results, core.PaperWeights); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	ttt := filepath.Join(dir, "ttt.csv")
+	tff := filepath.Join(dir, "tff.csv")
+	writeStudy(t, silicon.TTT, 1, ttt)
+	writeStudy(t, silicon.TFF, 2, tff)
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{ttt, tff}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"loaded 16 campaigns",
+		"Vmin distribution per chip",
+		"TFF", "TTT",
+		"per benchmark",
+		"unsafe-region width",
+		"guardband histogram",
+		"corr(TFF, TTT)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%.400s", want, out)
+		}
+	}
+}
+
+func TestRunAnalysisErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"/nonexistent.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,results,file\n1,2,3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

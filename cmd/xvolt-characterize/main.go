@@ -1,0 +1,212 @@
+// Command xvolt-characterize runs undervolting campaigns — the paper's
+// automated framework — and emits CSV results, exactly like the parsing
+// phase of §2.2.
+//
+// Usage:
+//
+//	xvolt-characterize -chip TTT -benchmarks bwaves,mcf -cores 0,4
+//	xvolt-characterize -chip TSS -freq 1200 -runs 5 -raw raw.csv -out results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"xvolt/internal/core"
+	"xvolt/internal/csvutil"
+	"xvolt/internal/silicon"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+func main() {
+	chipName := flag.String("chip", "TTT", "process corner: TTT, TFF or TSS")
+	benchList := flag.String("benchmarks", "all", "comma-separated program names, IDs (name/input), or 'all'")
+	coreList := flag.String("cores", "0,1,2,3,4,5,6,7", "comma-separated core indices")
+	freq := flag.Int("freq", 2400, "frequency of the PMD under test (MHz)")
+	runs := flag.Int("runs", 10, "runs per voltage step")
+	start := flag.Int("start", int(units.NominalPMD), "sweep start voltage (mV)")
+	stop := flag.Int("stop", 800, "sweep stop voltage (mV)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	outPath := flag.String("out", "-", "parsed results CSV path ('-' = stdout)")
+	rawPath := flag.String("raw", "", "optional raw per-run log CSV path")
+	model := flag.String("model", "xgene", "failure model: xgene or itanium")
+	ckptPath := flag.String("checkpoint", "", "resume from / persist campaign progress in this JSON file")
+	fast := flag.Bool("fast", false, "bisection Vmin search instead of a full sweep (prints a Vmin table, no CSV)")
+	flag.Parse()
+
+	if err := run(*chipName, *benchList, *coreList, *freq, *runs, *start, *stop, *seed, *outPath, *rawPath, *model, *ckptPath, *fast); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed int64, outPath, rawPath, modelName, ckptPath string, fast bool) error {
+	corner, err := silicon.ParseCorner(chipName)
+	if err != nil {
+		return err
+	}
+	var model silicon.Model
+	switch modelName {
+	case "xgene":
+		model = silicon.XGene
+	case "itanium":
+		model = silicon.Itanium
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	benchmarks, err := resolveBenchmarks(benchList)
+	if err != nil {
+		return err
+	}
+	cores, err := parseCores(coreList)
+	if err != nil {
+		return err
+	}
+
+	seedByCorner := map[silicon.Corner]int64{silicon.TTT: 1, silicon.TFF: 2, silicon.TSS: 3}
+	machine := xgene.NewWithModel(silicon.NewChip(corner, seedByCorner[corner]), model)
+	fw := core.New(machine)
+
+	cfg := core.DefaultConfig(benchmarks, cores)
+	cfg.Frequency = units.MegaHertz(freq)
+	cfg.Runs = runs
+	cfg.StartVoltage = units.MilliVolts(start)
+	cfg.StopVoltage = units.MilliVolts(stop)
+	cfg.Seed = seed
+
+	if fast {
+		return runFast(fw, cfg, benchmarks, cores)
+	}
+
+	records, err := execute(fw, cfg, ckptPath)
+	if err != nil {
+		return err
+	}
+	results := core.Parse(records)
+
+	out, closeOut, err := openOut(outPath)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	if err := csvutil.WriteCampaigns(out, results, core.PaperWeights); err != nil {
+		return err
+	}
+
+	if rawPath != "" {
+		rf, err := os.Create(rawPath)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		if err := csvutil.WriteRaw(rf, records); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "characterized %d campaigns (%d runs, %d watchdog recoveries)\n",
+		len(results), len(records), fw.Watchdog().Recoveries())
+	return nil
+}
+
+// execute runs the sweep, optionally resuming from / persisting to a
+// checkpoint file.
+func execute(fw *core.Framework, cfg core.Config, ckptPath string) ([]core.RunRecord, error) {
+	if ckptPath == "" {
+		return fw.Execute(cfg)
+	}
+	ckpt := core.NewCheckpoint()
+	if f, err := os.Open(ckptPath); err == nil {
+		loaded, lerr := core.LoadCheckpoint(f)
+		f.Close()
+		if lerr != nil {
+			return nil, lerr
+		}
+		ckpt = loaded
+		fmt.Fprintf(os.Stderr, "resuming: %d sweeps already complete\n", len(ckpt.Done))
+	}
+	records, err := fw.ExecuteResumable(cfg, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := ckpt.Save(f); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// runFast bisects each (benchmark, core) Vmin and prints the table.
+func runFast(fw *core.Framework, cfg core.Config, benchmarks []*workload.Spec, cores []int) error {
+	fmt.Printf("%-22s %-5s %-8s %s\n", "benchmark", "core", "vmin", "runs")
+	for _, spec := range benchmarks {
+		for _, c := range cores {
+			res, err := fw.FindVminFast(spec, c, cfg, cfg.Runs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s %-5d %-8v %d\n", spec.ID(), c, res.SafeVmin, res.RunsUsed)
+		}
+	}
+	return nil
+}
+
+func resolveBenchmarks(list string) ([]*workload.Spec, error) {
+	if list == "all" {
+		return workload.PrimarySuite(), nil
+	}
+	if list == "suite" {
+		return workload.PredictionSuite(), nil
+	}
+	var out []*workload.Spec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		var (
+			s   *workload.Spec
+			err error
+		)
+		if strings.Contains(name, "/") {
+			s, err = workload.Lookup(name)
+		} else {
+			s, err = workload.LookupName(name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseCores(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core %q: %w", part, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

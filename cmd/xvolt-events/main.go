@@ -1,0 +1,38 @@
+// Command xvolt-events lists the PMU event catalog the profiling phase
+// collects (101 events, §4.1), marking the five the paper's RFE selects.
+//
+// Usage:
+//
+//	xvolt-events             # the full catalog
+//	xvolt-events -selected   # only the five RFE targets
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"xvolt/internal/counters"
+)
+
+func main() {
+	selectedOnly := flag.Bool("selected", false, "print only the five RFE-selected events")
+	flag.Parse()
+
+	isSelected := map[counters.Event]bool{}
+	for _, e := range counters.Selected {
+		isSelected[e] = true
+	}
+	fmt.Printf("%-5s %-26s %s\n", "idx", "event", "role")
+	for e := counters.Event(0); e < counters.NumEvents; e++ {
+		role := ""
+		if isSelected[e] {
+			role = "RFE-selected (§4.2)"
+		} else if *selectedOnly {
+			continue
+		}
+		fmt.Printf("%-5d %-26s %s\n", int(e), e.Name(), role)
+	}
+	if !*selectedOnly {
+		fmt.Printf("\n%d events total; 5 selected by recursive feature elimination\n", counters.NumEvents)
+	}
+}

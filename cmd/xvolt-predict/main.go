@@ -1,0 +1,31 @@
+// Command xvolt-predict reproduces the §4 prediction study: it
+// characterizes the 40-input suite on the sensitive and robust cores of
+// the TTT chip, profiles all benchmarks, trains the RFE + OLS models and
+// evaluates the three test cases of §4.3.
+//
+// Usage:
+//
+//	xvolt-predict              # paper protocol (10 runs per step)
+//	xvolt-predict -runs 3      # quicker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xvolt/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", 10, "characterization runs per voltage step")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	res, err := experiments.Prediction(experiments.Options{Runs: *runs, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-predict:", err)
+		os.Exit(1)
+	}
+	experiments.RenderPrediction(os.Stdout, res)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"xvolt/internal/experiments"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<20)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// Every artifact branch must execute and print something recognizable.
+func TestRunAllArtifacts(t *testing.T) {
+	opt := experiments.Options{Runs: 2, Seed: 1}
+	cases := []struct {
+		only string
+		want string
+	}{
+		{"table1", "Table 1"},
+		{"table2", "Table 2"},
+		{"table3", "Table 3"},
+		{"table4", "Table 4"},
+		{"fig3", "Figure 3"},
+		{"fig4", "Figure 4"},
+		{"fig5", "Figure 5"},
+		{"guardbands", "Guardbands"},
+		{"halfspeed", "1.2 GHz"},
+		{"fig9", "Figure 9"},
+		{"selftest", "Self-tests"},
+		{"itanium", "Failure-physics"},
+		{"enhancements", "Design enhancements"},
+		{"power", "Power telemetry"},
+		{"phases", "Phase-aware"},
+		{"iterations", "Iterative execution"},
+		{"scheduling", "Prediction-guided scheduling"},
+		{"analysis", "Vmin distribution"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.only, func(t *testing.T) {
+			out := capture(t, func() error { return run(tc.only, opt) })
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("-only %s output missing %q:\n%.400s", tc.only, tc.want, out)
+			}
+		})
+	}
+}
+
+// The charts flag decorates the figure artifacts.
+func TestRunWithCharts(t *testing.T) {
+	drawCharts = true
+	defer func() { drawCharts = false }()
+	out := capture(t, func() error { return run("fig9", experiments.Options{Runs: 2, Seed: 1}) })
+	if !strings.Contains(out, "Figure 9 (chart)") {
+		t.Errorf("charts missing:\n%.400s", out)
+	}
+}
+
+// The prediction artifact is heavier; run it once at reduced cost.
+func TestRunPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prediction artifact is expensive")
+	}
+	out := capture(t, func() error { return run("prediction", experiments.Options{Runs: 3, Seed: 1}) })
+	if !strings.Contains(out, "case 1") || !strings.Contains(out, "case 3") {
+		t.Errorf("prediction output incomplete:\n%.600s", out)
+	}
+}

@@ -1,0 +1,106 @@
+// Command xvolt-serve runs a characterization study while publishing it
+// over HTTP — the "cloud" sink of the paper's Fig. 2: live board status,
+// parsed results (JSON/CSV) and the framework's trace tail.
+//
+// Usage:
+//
+//	xvolt-serve -addr :8080 -chip TTT -benchmarks bwaves,mcf -cores 0,4
+//
+// then browse http://localhost:8080/.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"xvolt/internal/core"
+	"xvolt/internal/server"
+	"xvolt/internal/silicon"
+	"xvolt/internal/trace"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	chipName := flag.String("chip", "TTT", "process corner: TTT, TFF or TSS")
+	benchList := flag.String("benchmarks", "all", "comma-separated program names or 'all'")
+	coreList := flag.String("cores", "0,4", "comma-separated core indices")
+	runs := flag.Int("runs", 10, "runs per voltage step")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	if err := run(*addr, *chipName, *benchList, *coreList, *runs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, chipName, benchList, coreList string, runs int, seed int64) error {
+	corner, err := silicon.ParseCorner(chipName)
+	if err != nil {
+		return err
+	}
+	seedByCorner := map[silicon.Corner]int64{silicon.TTT: 1, silicon.TFF: 2, silicon.TSS: 3}
+	fw := core.New(xgene.New(silicon.NewChip(corner, seedByCorner[corner])))
+	fw.SetTrace(trace.New(8192))
+	srv := server.New(fw)
+
+	benchmarks, err := resolveBenchmarks(benchList)
+	if err != nil {
+		return err
+	}
+	cores, err := parseCores(coreList)
+	if err != nil {
+		return err
+	}
+
+	// The study runs in the background; results publish as it finishes.
+	go func() {
+		cfg := core.DefaultConfig(benchmarks, cores)
+		cfg.Runs = runs
+		cfg.Seed = seed
+		results, err := fw.Characterize(cfg)
+		if err != nil {
+			log.Printf("campaign failed: %v", err)
+			return
+		}
+		srv.SetResults(results)
+		log.Printf("campaign done: %d campaigns published", len(results))
+	}()
+
+	log.Printf("serving on %s (chip %s, %d benchmarks, cores %v)", addr, chipName, len(benchmarks), cores)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+func resolveBenchmarks(list string) ([]*workload.Spec, error) {
+	if list == "all" {
+		return workload.PrimarySuite(), nil
+	}
+	var out []*workload.Spec
+	for _, name := range strings.Split(list, ",") {
+		s, err := workload.LookupName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseCores(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core %q: %w", part, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

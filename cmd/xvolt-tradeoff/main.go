@@ -1,0 +1,31 @@
+// Command xvolt-tradeoff reproduces Fig. 9: it characterizes the §5
+// eight-benchmark workload on the TTT chip, derives per-PMD voltage
+// requirements, and prints the power/performance Pareto curve produced by
+// downshifting the weakest PMDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xvolt/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", 10, "characterization runs per voltage step")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	res, err := experiments.Figure9(experiments.Options{Runs: *runs, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-tradeoff:", err)
+		os.Exit(1)
+	}
+	experiments.RenderFigure9(os.Stdout, res)
+	fmt.Println()
+	fmt.Println("requirements per PMD (full speed):")
+	for _, r := range res.Requirements {
+		fmt.Printf("  PMD%d needs %v (half-speed floor %v)\n", r.PMD, r.FullSpeed, r.HalfSpeed)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: boot a simulated X-Gene 2, undervolt one benchmark on one
+// core with the automated characterization framework, and print the
+// regions of operation it finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xvolt/internal/core"
+	"xvolt/internal/silicon"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+func main() {
+	// A nominal-corner ("TTT") die on a freshly booted board.
+	machine := xgene.New(silicon.NewChip(silicon.TTT, 1))
+	framework := core.New(machine)
+
+	// Characterize bwaves on the chip's most robust core (core 4) with the
+	// paper's protocol: 2.4 GHz under test, 300 MHz elsewhere, 10 runs per
+	// 5 mV step, sweeping down from the 980 mV nominal.
+	bwaves, err := workload.Lookup("bwaves/ref")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig([]*workload.Spec{bwaves}, []int{4})
+
+	results, err := framework.Characterize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := results[0]
+	vmin, _ := c.SafeVmin()
+	crash, _ := c.CrashVoltage()
+	fmt.Printf("bwaves on %s core %d @ %v\n", c.Chip, c.Core, c.Frequency)
+	fmt.Printf("  safe Vmin:      %v (guardband %.1f%%, energy saving %.1f%%)\n",
+		vmin, vmin.GuardbandFraction()*100, (1-vmin.RelativeSquared())*100)
+	fmt.Printf("  crash region:   below %v\n", crash)
+	fmt.Printf("  watchdog power-cycled the board %d times\n", framework.Watchdog().Recoveries())
+
+	fmt.Println("\n  voltage  region  severity")
+	for _, step := range c.Steps {
+		fmt.Printf("  %7v  %-6s  %5.1f\n",
+			step.Voltage, step.Region(), step.Severity(core.PaperWeights))
+	}
+}

@@ -1,0 +1,74 @@
+// Scheduler: the §5 study — place eight benchmarks on eight cores with and
+// without variation awareness, compare the shared-rail voltage each
+// placement needs, and print the Fig. 9 style trade-off of downshifting
+// the weakest PMDs.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xvolt/internal/energy"
+	"xvolt/internal/sched"
+	"xvolt/internal/silicon"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+)
+
+func main() {
+	chip := silicon.NewChip(silicon.TTT, 1)
+	// Vmin oracle from the silicon model — in production this comes from
+	// the characterization results or the §4 predictor.
+	vmin := func(spec *workload.Spec, coreID int) units.MilliVolts {
+		return chip.Assess(coreID, spec.Profile, spec.Idio(), units.RegimeFull).SafeVmin
+	}
+
+	tasks := workload.PrimarySuite()[:8]
+	fmt.Println("workload:", names(tasks))
+
+	naive, err := sched.NaiveAssign(tasks, vmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smart, err := sched.Assign(tasks, vmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive placement needs   %v (saving %.1f%%)\n",
+		naive.Voltage, energy.VoltageSavings(naive.Voltage)*100)
+	fmt.Printf("optimal placement needs %v (saving %.1f%%), %.1f%% extra power saved\n",
+		smart.Voltage, energy.VoltageSavings(smart.Voltage)*100, smart.SavingsOver(naive)*100)
+	for coreID, spec := range smart.ByCore {
+		if spec != nil {
+			fmt.Printf("  core %d (PMD%d): %-11s needs %v\n",
+				coreID, silicon.PMDOf(coreID), spec.Name, vmin(spec, coreID))
+		}
+	}
+
+	// Fig. 9: trade performance for power by downshifting weak PMDs.
+	perCore := map[int]units.MilliVolts{}
+	for coreID, spec := range smart.ByCore {
+		if spec != nil {
+			perCore[coreID] = vmin(spec, coreID)
+		}
+	}
+	reqs := energy.RequirementsFromVmins(perCore, 760)
+	points, err := energy.TradeoffCurve(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntrade-off curve (downshifting weakest PMDs to 1.2 GHz):")
+	for _, p := range points {
+		fmt.Printf("  %s downshifted=%v\n", p.Label(), p.Downshifted)
+	}
+}
+
+func names(specs []*workload.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

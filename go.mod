@@ -1,0 +1,3 @@
+module xvolt
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package analysis computes the statistical reductions a characterization
+// study feeds into papers and dashboards: per-chip and per-core Vmin
+// distributions, guardband histograms, cross-chip workload-pattern
+// correlations (§3.2's "the workload-to-workload variation remains the
+// same across the 3 chips"), and region-width summaries.
+//
+// Everything operates on parsed core.CampaignResult values, so it works
+// equally on fresh studies and on CSV files reloaded through csvutil.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"xvolt/internal/core"
+	"xvolt/internal/stats"
+	"xvolt/internal/units"
+)
+
+// ErrNoData is returned when a reduction has nothing to aggregate.
+var ErrNoData = errors.New("analysis: no data")
+
+// VminStats summarizes a set of safe-Vmin observations.
+type VminStats struct {
+	Label string
+	N     int
+	Mean  float64
+	Std   float64
+	Min   units.MilliVolts
+	Max   units.MilliVolts
+}
+
+// describe builds VminStats from raw values.
+func describe(label string, vs []float64) (VminStats, error) {
+	if len(vs) == 0 {
+		return VminStats{}, fmt.Errorf("%w: %s", ErrNoData, label)
+	}
+	mn, _ := stats.Min(vs)
+	mx, _ := stats.Max(vs)
+	return VminStats{
+		Label: label,
+		N:     len(vs),
+		Mean:  stats.Mean(vs),
+		Std:   stats.StdDev(vs),
+		Min:   units.MilliVolts(mn),
+		Max:   units.MilliVolts(mx),
+	}, nil
+}
+
+// vminsBy groups safe Vmins of the campaigns by a key function.
+func vminsBy(results []*core.CampaignResult, key func(*core.CampaignResult) string) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, c := range results {
+		if v, ok := c.SafeVmin(); ok {
+			k := key(c)
+			out[k] = append(out[k], float64(v))
+		}
+	}
+	return out
+}
+
+// sortedStats renders grouped values as sorted VminStats.
+func sortedStats(groups map[string][]float64) ([]VminStats, error) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []VminStats
+	for _, k := range keys {
+		s, err := describe(k, groups[k])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// VminByChip summarizes safe Vmin per chip over all campaigns.
+func VminByChip(results []*core.CampaignResult) ([]VminStats, error) {
+	return sortedStats(vminsBy(results, func(c *core.CampaignResult) string { return c.Chip }))
+}
+
+// VminByCore summarizes safe Vmin per (chip, core).
+func VminByCore(results []*core.CampaignResult) ([]VminStats, error) {
+	return sortedStats(vminsBy(results, func(c *core.CampaignResult) string {
+		return fmt.Sprintf("%s/core%d", c.Chip, c.Core)
+	}))
+}
+
+// VminByBenchmark summarizes safe Vmin per benchmark over all chips/cores.
+func VminByBenchmark(results []*core.CampaignResult) ([]VminStats, error) {
+	return sortedStats(vminsBy(results, func(c *core.CampaignResult) string { return c.BenchmarkID() }))
+}
+
+// ChipCorrelation computes the Pearson correlation of per-benchmark
+// most-robust-core Vmin patterns between every pair of chips — the §3.2
+// consistency claim, quantified. Benchmarks missing on either chip are
+// skipped; pairs with fewer than 3 common benchmarks are omitted.
+func ChipCorrelation(results []*core.CampaignResult) (map[[2]string]float64, error) {
+	// robust[chip][benchmark] = min Vmin over cores.
+	robust := map[string]map[string]float64{}
+	for _, c := range results {
+		v, ok := c.SafeVmin()
+		if !ok {
+			continue
+		}
+		m := robust[c.Chip]
+		if m == nil {
+			m = map[string]float64{}
+			robust[c.Chip] = m
+		}
+		b := c.BenchmarkID()
+		if cur, ok := m[b]; !ok || float64(v) < cur {
+			m[b] = float64(v)
+		}
+	}
+	var chips []string
+	for chip := range robust {
+		chips = append(chips, chip)
+	}
+	sort.Strings(chips)
+	if len(chips) < 2 {
+		return nil, fmt.Errorf("%w: need at least two chips", ErrNoData)
+	}
+	out := map[[2]string]float64{}
+	for i := 0; i < len(chips); i++ {
+		for j := i + 1; j < len(chips); j++ {
+			a, b := robust[chips[i]], robust[chips[j]]
+			var xs, ys []float64
+			for bench, va := range a {
+				if vb, ok := b[bench]; ok {
+					xs = append(xs, va)
+					ys = append(ys, vb)
+				}
+			}
+			if len(xs) < 3 {
+				continue
+			}
+			r, err := stats.Correlation(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			out[[2]string{chips[i], chips[j]}] = r
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// GuardbandHistogram bins the guardband (nominal − safe Vmin, in mV) of
+// every campaign into binMV-wide buckets from 0 to maxMV.
+func GuardbandHistogram(results []*core.CampaignResult, binMV, maxMV int) ([]int, error) {
+	if binMV <= 0 || maxMV <= binMV {
+		return nil, errors.New("analysis: invalid histogram bins")
+	}
+	var gs []float64
+	for _, c := range results {
+		if v, ok := c.SafeVmin(); ok {
+			gs = append(gs, float64(units.NominalPMD-v))
+		}
+	}
+	if len(gs) == 0 {
+		return nil, ErrNoData
+	}
+	return stats.Histogram(gs, 0, float64(maxMV), maxMV/binMV)
+}
+
+// UnsafeWidthStats summarizes the unsafe-region width (safe Vmin − crash
+// point) across campaigns that observed both boundaries.
+func UnsafeWidthStats(results []*core.CampaignResult) (VminStats, error) {
+	var ws []float64
+	for _, c := range results {
+		sv, ok1 := c.SafeVmin()
+		cv, ok2 := c.CrashVoltage()
+		if ok1 && ok2 {
+			ws = append(ws, float64(sv-cv))
+		}
+	}
+	return describe("unsafe-width", ws)
+}
+
+// Render prints a stats table.
+func Render(w io.Writer, title string, rows []VminStats) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s n=%-3d mean=%7.1f σ=%4.1f range=[%v, %v]\n",
+			r.Label, r.N, r.Mean, r.Std, r.Min, r.Max)
+	}
+}
+
+// RenderCorrelation prints the chip-pair correlations.
+func RenderCorrelation(w io.Writer, corr map[[2]string]float64) {
+	fmt.Fprintln(w, "cross-chip workload-pattern correlation (§3.2)")
+	var pairs [][2]string
+	for p := range corr {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(w, "  corr(%s, %s) = %+.2f\n", p[0], p[1], corr[p])
+	}
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"xvolt/internal/core"
+	"xvolt/internal/units"
+)
+
+// synth builds a campaign result with one clean prefix down to vmin and a
+// crash step at crash.
+func synth(chip, bench string, coreID int, vmin, crash units.MilliVolts) *core.CampaignResult {
+	c := &core.CampaignResult{Chip: chip, Benchmark: bench, Input: "ref", Core: coreID, Frequency: 2400}
+	for v := units.MilliVolts(980); v >= crash; v -= units.VoltageStep {
+		var tl core.Tally
+		switch {
+		case v >= vmin:
+			tl = core.Tally{N: 5}
+		case v > crash:
+			tl = core.Tally{N: 5, SDC: 2}
+		default:
+			tl = core.Tally{N: 5, SC: 5}
+		}
+		c.Steps = append(c.Steps, core.StepResult{Voltage: v, Tally: tl})
+	}
+	return c
+}
+
+func study() []*core.CampaignResult {
+	return []*core.CampaignResult{
+		synth("TTT", "bwaves", 0, 915, 885),
+		synth("TTT", "bwaves", 4, 885, 855),
+		synth("TTT", "mcf", 0, 890, 875),
+		synth("TTT", "mcf", 4, 860, 845),
+		synth("TFF", "bwaves", 0, 905, 875),
+		synth("TFF", "bwaves", 4, 880, 855),
+		synth("TFF", "mcf", 0, 890, 870),
+		synth("TFF", "mcf", 4, 865, 850),
+		synth("TSS", "bwaves", 4, 900, 870),
+		synth("TSS", "mcf", 4, 870, 850),
+		synth("TSS", "milc", 4, 890, 865),
+	}
+}
+
+func TestVminByChip(t *testing.T) {
+	rows, err := VminByChip(study())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d chips", len(rows))
+	}
+	byLabel := map[string]VminStats{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	ttt := byLabel["TTT"]
+	if ttt.N != 4 || ttt.Min != 860 || ttt.Max != 915 {
+		t.Errorf("TTT stats = %+v", ttt)
+	}
+	if ttt.Mean != (915+885+890+860)/4.0 {
+		t.Errorf("TTT mean = %v", ttt.Mean)
+	}
+	// Sorted by label.
+	if rows[0].Label != "TFF" || rows[2].Label != "TTT" {
+		t.Errorf("order = %v, %v, %v", rows[0].Label, rows[1].Label, rows[2].Label)
+	}
+}
+
+func TestVminByCoreAndBenchmark(t *testing.T) {
+	rows, err := VminByCore(study())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // TTT/0, TTT/4, TFF/0, TFF/4, TSS/4
+		t.Fatalf("got %d core groups: %v", len(rows), rows)
+	}
+	rows, err = VminByBenchmark(study())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // bwaves/ref, mcf/ref, milc/ref
+		t.Fatalf("got %d benchmark groups", len(rows))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := VminByChip(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := ChipCorrelation(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("corr empty err = %v", err)
+	}
+	if _, err := UnsafeWidthStats(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("width empty err = %v", err)
+	}
+	if _, err := GuardbandHistogram(nil, 10, 100); !errors.Is(err, ErrNoData) {
+		t.Errorf("hist empty err = %v", err)
+	}
+}
+
+func TestChipCorrelation(t *testing.T) {
+	// TTT and TFF share only bwaves+mcf → below the 3-benchmark floor, so
+	// the tiny study yields no qualifying pair.
+	if _, err := ChipCorrelation(study()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("tiny study corr err = %v, want ErrNoData", err)
+	}
+	bigger := append(study(),
+		synth("TTT", "milc", 4, 885, 860),
+		synth("TFF", "milc", 4, 885, 860),
+		synth("TTT", "leslie3d", 4, 880, 855),
+		synth("TFF", "leslie3d", 4, 882, 855), // off-grid-free but fine
+	)
+	corr, err := ChipCorrelation(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := corr[[2]string{"TFF", "TTT"}]
+	if !ok {
+		t.Fatalf("no TFF/TTT pair: %v", corr)
+	}
+	if r < 0.8 {
+		t.Errorf("corr = %v, want high (patterns agree)", r)
+	}
+}
+
+func TestGuardbandHistogram(t *testing.T) {
+	h, err := GuardbandHistogram(study(), 20, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 8 {
+		t.Fatalf("got %d bins", len(h))
+	}
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != len(study()) {
+		t.Errorf("histogram covers %d campaigns, want %d", total, len(study()))
+	}
+	// bwaves TTT core0: guardband 65 → bin 3 (60-80).
+	if h[3] == 0 {
+		t.Errorf("expected mass in the 60-80mV bin: %v", h)
+	}
+	if _, err := GuardbandHistogram(study(), 0, 100); err == nil {
+		t.Error("bad bins accepted")
+	}
+	if _, err := GuardbandHistogram(study(), 100, 50); err == nil {
+		t.Error("max<bin accepted")
+	}
+}
+
+func TestUnsafeWidthStats(t *testing.T) {
+	s, err := UnsafeWidthStats(study())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != len(study()) {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Min < 10 || s.Max > 40 {
+		t.Errorf("width range [%v, %v] implausible", s.Min, s.Max)
+	}
+}
+
+func TestRender(t *testing.T) {
+	rows, err := VminByChip(study())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Render(&buf, "per-chip Vmin", rows)
+	if !strings.Contains(buf.String(), "TSS") || !strings.Contains(buf.String(), "mean=") {
+		t.Errorf("render incomplete:\n%s", buf.String())
+	}
+	bigger := append(study(),
+		synth("TTT", "milc", 4, 885, 860),
+		synth("TFF", "milc", 4, 885, 860),
+	)
+	corr, err := ChipCorrelation(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderCorrelation(&buf, corr)
+	if !strings.Contains(buf.String(), "corr(TFF, TTT)") {
+		t.Errorf("corr render incomplete:\n%s", buf.String())
+	}
+}

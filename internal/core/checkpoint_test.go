@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := NewCheckpoint()
+	c.mark("TTT/bwaves/ref/0/2400", []RunRecord{
+		{Chip: "TTT", Benchmark: "bwaves", Input: "ref", Core: 0, Frequency: 2400, Voltage: 900},
+	})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Done) != 1 || got.Done[0] != "TTT/bwaves/ref/0/2400" {
+		t.Errorf("done = %v", got.Done)
+	}
+	if len(got.Records) != 1 || got.Records[0].Voltage != 900 {
+		t.Errorf("records = %+v", got.Records)
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("{garbage")); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if _, err := LoadCheckpoint(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestMarkIdempotent(t *testing.T) {
+	c := NewCheckpoint()
+	c.mark("k", []RunRecord{{Voltage: 900}})
+	c.mark("k", []RunRecord{{Voltage: 905}})
+	if len(c.Done) != 1 || len(c.Records) != 1 {
+		t.Errorf("duplicate mark mutated checkpoint: %d/%d", len(c.Done), len(c.Records))
+	}
+}
+
+// The resume path: run half the study, "crash", resume from the saved
+// checkpoint, and require (a) the completed sweep is not re-run, (b) the
+// final records equal a straight-through run of the same configuration.
+func TestExecuteResumable(t *testing.T) {
+	benchSet := specs(t, "gromacs/ref", "mcf/ref")
+	mkCfg := func(benchmarks ...int) Config {
+		var bs = benchSet
+		if len(benchmarks) == 1 {
+			bs = benchSet[:benchmarks[0]]
+		}
+		cfg := DefaultConfig(bs, []int{4})
+		cfg.Runs = 3
+		return cfg
+	}
+
+	// Phase 1: only the first benchmark, into a checkpoint.
+	fw1 := tttFramework()
+	ckpt := NewCheckpoint()
+	recs1, err := fw1.ExecuteResumable(mkCfg(1), ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpt.Done) != 1 {
+		t.Fatalf("checkpoint has %d sweeps, want 1", len(ckpt.Done))
+	}
+
+	// Persist + reload (the "crash").
+	var buf bytes.Buffer
+	if err := ckpt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: full configuration on a fresh machine, resuming.
+	fw2 := tttFramework()
+	recs2, err := fw2.ExecuteResumable(mkCfg(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Done) != 2 {
+		t.Fatalf("resumed checkpoint has %d sweeps, want 2", len(resumed.Done))
+	}
+	if len(recs2) <= len(recs1) {
+		t.Fatalf("resume added no records: %d vs %d", len(recs2), len(recs1))
+	}
+	// The first benchmark's records are the phase-1 ones, bit for bit.
+	for i, r := range recs1 {
+		if recs2[i] != r {
+			t.Fatalf("record %d changed across resume: %+v vs %+v", i, recs2[i], r)
+		}
+	}
+
+	// Straight-through reference run: identical parsed results.
+	fw3 := tttFramework()
+	ref, err := fw3.Execute(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsedResumed := Parse(recs2)
+	parsedRef := Parse(ref)
+	if len(parsedResumed) != len(parsedRef) {
+		t.Fatalf("campaign counts differ: %d vs %d", len(parsedResumed), len(parsedRef))
+	}
+	// The mcf sweep in the resumed run used a fresh RNG stream, so raw
+	// tallies can differ in the unsafe region — but the safe Vmin (the
+	// deterministic part) must agree.
+	for i := range parsedRef {
+		a, okA := parsedResumed[i].SafeVmin()
+		b, okB := parsedRef[i].SafeVmin()
+		if okA != okB || a != b {
+			t.Errorf("campaign %d Vmin differs: %v/%v vs %v/%v",
+				i, a, okA, b, okB)
+		}
+	}
+}
+
+func TestExecuteResumableNilCheckpoint(t *testing.T) {
+	fw := tttFramework()
+	if _, err := fw.ExecuteResumable(DefaultConfig(specs(t, "mcf/ref"), []int{0}), nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+}
+
+func TestExecuteResumableInvalidConfig(t *testing.T) {
+	fw := tttFramework()
+	if _, err := fw.ExecuteResumable(Config{}, NewCheckpoint()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"xvolt/internal/core"
+)
+
+// The severity function consolidates the ten repetitions of one voltage
+// step into a single number using the Table 4 weights.
+func ExampleTally_Severity() {
+	var tally core.Tally
+	// 10 runs at this step: two silent corruptions, five with corrected
+	// errors (one run had both), the rest clean.
+	tally.Add(core.Observation{SDC: true, CE: true})
+	tally.Add(core.Observation{SDC: true})
+	for i := 0; i < 4; i++ {
+		tally.Add(core.Observation{CE: true})
+	}
+	for i := 0; i < 4; i++ {
+		tally.Add(core.Observation{})
+	}
+	fmt.Printf("severity = %.1f, region = %s\n",
+		tally.Severity(core.PaperWeights), core.RegionOf(tally))
+	// Output: severity = 1.3, region = unsafe
+}
+
+// Run records classify from observables only: exit status, output
+// comparison, EDAC deltas and system liveness.
+func ExampleRunRecord_Classify() {
+	rec := core.RunRecord{ExitCode: 0, OutputMismatch: true, DeltaCE: 12}
+	fmt.Println(rec.Classify())
+	crash := core.RunRecord{SystemCrashed: true}
+	fmt.Println(crash.Classify())
+	// Output:
+	// SDC+CE
+	// SC
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"xvolt/internal/units"
+)
+
+// Bisection must agree with the full sweep on the Vmin it finds, using far
+// fewer runs.
+func TestFindVminFastMatchesSweep(t *testing.T) {
+	for _, id := range []string{"bwaves/ref", "mcf/ref", "gamess/ref"} {
+		spec := specs(t, id)[0]
+		// Reference: full sweep.
+		fwSweep := tttFramework()
+		cfgSweep := DefaultConfig(specs(t, id), []int{4})
+		cfgSweep.Runs = 10
+		results, err := fwSweep.Characterize(cfgSweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := results[0].SafeVmin()
+		if !ok {
+			t.Fatalf("%s: sweep found no Vmin", id)
+		}
+		sweepRuns := 0
+		for _, s := range results[0].Steps {
+			sweepRuns += s.Tally.N
+		}
+
+		// Bisection on a fresh machine.
+		fwFast := tttFramework()
+		cfgFast := DefaultConfig(specs(t, id), []int{4})
+		got, err := fwFast.FindVminFast(spec, 4, cfgFast, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SafeVmin < want-units.VoltageStep || got.SafeVmin > want+units.VoltageStep {
+			t.Errorf("%s: fast Vmin %v, sweep %v (want within one step)", id, got.SafeVmin, want)
+		}
+		if got.RunsUsed >= sweepRuns/2 {
+			t.Errorf("%s: bisection used %d runs vs sweep's %d — no economy", id, got.RunsUsed, sweepRuns)
+		}
+	}
+}
+
+func TestFindVminFastValidation(t *testing.T) {
+	fw := tttFramework()
+	spec := specs(t, "mcf/ref")[0]
+	cfg := DefaultConfig(specs(t, "mcf/ref"), []int{4})
+	if _, err := fw.FindVminFast(spec, 4, cfg, 0); err == nil {
+		t.Error("confirm=0 accepted")
+	}
+	if _, err := fw.FindVminFast(spec, 4, Config{}, 3); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// A start voltage already inside the unsafe region must be reported, not
+// silently returned as the Vmin.
+func TestFindVminFastDirtyStart(t *testing.T) {
+	fw := tttFramework()
+	spec := specs(t, "bwaves/ref")[0]
+	cfg := DefaultConfig(specs(t, "bwaves/ref"), []int{0})
+	cfg.StartVoltage = 860 // deep inside bwaves/core0's bad region
+	cfg.StopVoltage = 850
+	if _, err := fw.FindVminFast(spec, 0, cfg, 5); err == nil {
+		t.Error("dirty start voltage not reported")
+	}
+}

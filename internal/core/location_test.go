@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"xvolt/internal/edac"
+)
+
+func TestLocationSummary(t *testing.T) {
+	var r RunRecord
+	if got := r.LocationSummary(); got != "" {
+		t.Errorf("empty summary = %q", got)
+	}
+	r.ByLocation.CE[edac.L2] = 3
+	if got := r.LocationSummary(); got != "l2:3CE" {
+		t.Errorf("summary = %q", got)
+	}
+	r.ByLocation.UE[edac.L3] = 1
+	r.ByLocation.CE[edac.L3] = 2
+	if got := r.LocationSummary(); got != "l2:3CE l3:2CE+1UE" {
+		t.Errorf("summary = %q", got)
+	}
+	r.ByLocation.UE[edac.DRAM] = 4
+	if got := r.LocationSummary(); got != "l2:3CE l3:2CE+1UE mc:4UE" {
+		t.Errorf("summary = %q", got)
+	}
+}
+
+// Campaigns attribute their ECC events to structures: sweeping a memory-
+// heavy workload must populate the per-location breakdown coherently.
+func TestCampaignPopulatesLocations(t *testing.T) {
+	fw := tttFramework()
+	cfg := DefaultConfig(specs(t, "mcf/ref"), []int{0})
+	cfg.Runs = 6
+	recs, err := fw.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLocated := false
+	for _, r := range recs {
+		total := r.ByLocation.TotalCE() + r.ByLocation.TotalUE()
+		if total != r.DeltaCE+r.DeltaUE {
+			t.Fatalf("per-location sum %d != totals %d", total, r.DeltaCE+r.DeltaUE)
+		}
+		if total > 0 {
+			sawLocated = true
+			if r.LocationSummary() == "" {
+				t.Fatal("errors recorded but summary empty")
+			}
+		}
+	}
+	if !sawLocated {
+		t.Error("no run attributed any error location across the sweep")
+	}
+}

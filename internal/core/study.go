@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xvolt/internal/xgene"
+)
+
+// Study orchestrates one characterization configuration across several
+// boards concurrently — the paper characterized three chips on one machine
+// over six months (§3.2); a lab with one board per part runs them in
+// parallel. Each board gets its own Framework (and watchdog); results
+// merge into a single parsed set.
+type Study struct {
+	frameworks []*Framework
+}
+
+// NewStudy wraps one framework per machine.
+func NewStudy(machines ...*xgene.Machine) (*Study, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("core: study needs at least one machine")
+	}
+	seen := map[string]bool{}
+	s := &Study{}
+	for _, m := range machines {
+		if seen[m.Chip().Name] {
+			return nil, fmt.Errorf("core: duplicate chip %s in study", m.Chip().Name)
+		}
+		seen[m.Chip().Name] = true
+		s.frameworks = append(s.frameworks, New(m))
+	}
+	return s, nil
+}
+
+// Frameworks exposes the per-board frameworks (for traces, watchdog
+// statistics and raw logs).
+func (s *Study) Frameworks() []*Framework {
+	return append([]*Framework(nil), s.frameworks...)
+}
+
+// Run executes the configuration on every board concurrently and returns
+// the merged, deterministically-ordered campaign results. Each board's
+// campaign uses a seed offset so the boards' random streams differ, like
+// physically distinct runs.
+func (s *Study) Run(cfg Config) ([]*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type boardOut struct {
+		recs []RunRecord
+		err  error
+	}
+	outs := make([]boardOut, len(s.frameworks))
+	var wg sync.WaitGroup
+	for i, fw := range s.frameworks {
+		wg.Add(1)
+		go func(i int, fw *Framework) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)*7919
+			outs[i].recs, outs[i].err = fw.Execute(c)
+		}(i, fw)
+	}
+	wg.Wait()
+	var all []RunRecord
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("core: board %d (%s): %w",
+				i, s.frameworks[i].Machine().Chip().Name, o.err)
+		}
+		all = append(all, o.recs...)
+	}
+	results := Parse(all)
+	// Parse already sorts; keep an explicit, stable chip ordering anyway
+	// so merged studies render identically regardless of goroutine timing.
+	sort.SliceStable(results, func(a, b int) bool {
+		if results[a].Chip != results[b].Chip {
+			return results[a].Chip < results[b].Chip
+		}
+		if results[a].Benchmark != results[b].Benchmark {
+			return results[a].Benchmark < results[b].Benchmark
+		}
+		return results[a].Core < results[b].Core
+	})
+	return results, nil
+}
+
+// Recoveries sums the watchdog power cycles across all boards.
+func (s *Study) Recoveries() int {
+	total := 0
+	for _, fw := range s.frameworks {
+		total += fw.Watchdog().Recoveries()
+	}
+	return total
+}

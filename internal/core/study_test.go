@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"xvolt/internal/silicon"
+	"xvolt/internal/xgene"
+)
+
+func paperStudy(t *testing.T) *Study {
+	t.Helper()
+	var machines []*xgene.Machine
+	for _, chip := range silicon.PaperChips() {
+		machines = append(machines, xgene.New(chip))
+	}
+	s, err := NewStudy(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStudyValidation(t *testing.T) {
+	if _, err := NewStudy(); err == nil {
+		t.Error("empty study accepted")
+	}
+	a := xgene.New(silicon.NewChip(silicon.TTT, 1))
+	b := xgene.New(silicon.NewChip(silicon.TTT, 9))
+	if _, err := NewStudy(a, b); err == nil {
+		t.Error("duplicate chip names accepted")
+	}
+}
+
+func TestStudyRunsAllBoards(t *testing.T) {
+	s := paperStudy(t)
+	cfg := DefaultConfig(specs(t, "mcf/ref", "bwaves/ref"), []int{0, 4})
+	cfg.Runs = 3
+	results, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 chips × 2 benchmarks × 2 cores.
+	if len(results) != 12 {
+		t.Fatalf("got %d campaigns, want 12", len(results))
+	}
+	// Ordered by chip, benchmark, core.
+	wantChips := []string{"TFF", "TSS", "TTT"}
+	for i, c := range results {
+		if c.Chip != wantChips[i/4] {
+			t.Errorf("campaign %d chip = %s, want %s", i, c.Chip, wantChips[i/4])
+		}
+	}
+	// Every campaign found a Vmin and the chip ordering holds per §3.3:
+	// TSS needs more voltage than TTT for the same (benchmark, core).
+	byKey := map[string]*CampaignResult{}
+	for _, c := range results {
+		byKey[c.Chip+"/"+c.Benchmark+"/"+string(rune('0'+c.Core))] = c
+	}
+	for _, bench := range []string{"mcf", "bwaves"} {
+		for _, coreID := range []string{"0", "4"} {
+			ttt, _ := byKey["TTT/"+bench+"/"+coreID].SafeVmin()
+			tss, _ := byKey["TSS/"+bench+"/"+coreID].SafeVmin()
+			if tss < ttt {
+				t.Errorf("%s core %s: TSS %v below TTT %v", bench, coreID, tss, ttt)
+			}
+		}
+	}
+	if s.Recoveries() == 0 {
+		t.Error("no recoveries across three boards of crash-region sweeps")
+	}
+	if len(s.Frameworks()) != 3 {
+		t.Errorf("Frameworks() = %d", len(s.Frameworks()))
+	}
+}
+
+func TestStudyInvalidConfig(t *testing.T) {
+	s := paperStudy(t)
+	if _, err := s.Run(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Study runs are deterministic despite goroutine scheduling: results
+// depend only on per-board seeds.
+func TestStudyDeterministic(t *testing.T) {
+	runOnce := func() []*CampaignResult {
+		s := paperStudy(t)
+		cfg := DefaultConfig(specs(t, "soplex/ref"), []int{4})
+		cfg.Runs = 3
+		res, err := s.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different campaign counts")
+	}
+	for i := range a {
+		if len(a[i].Steps) != len(b[i].Steps) {
+			t.Fatalf("campaign %d step counts differ", i)
+		}
+		for j := range a[i].Steps {
+			if a[i].Steps[j] != b[i].Steps[j] {
+				t.Fatalf("campaign %d step %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package csvutil emits and parses the CSV result files the framework's
+// parsing phase produces (§2.2: "all the collected results concerning the
+// characterization and the severity function of each run are reported in
+// CSV files").
+package csvutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"xvolt/internal/core"
+	"xvolt/internal/units"
+)
+
+// campaignHeader is the column layout of a parsed-results CSV.
+var campaignHeader = []string{
+	"chip", "benchmark", "input", "core", "frequency_mhz", "voltage_mv",
+	"runs", "sdc", "ce", "ue", "ac", "sc", "severity", "region",
+}
+
+// WriteCampaigns renders parsed campaign results, one row per voltage
+// step, with the severity computed under the given weights.
+func WriteCampaigns(w io.Writer, results []*core.CampaignResult, weights core.Weights) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(campaignHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, s := range r.Steps {
+			row := []string{
+				r.Chip, r.Benchmark, r.Input,
+				strconv.Itoa(r.Core),
+				strconv.Itoa(int(r.Frequency)),
+				strconv.Itoa(int(s.Voltage)),
+				strconv.Itoa(s.Tally.N),
+				strconv.Itoa(s.Tally.SDC),
+				strconv.Itoa(s.Tally.CE),
+				strconv.Itoa(s.Tally.UE),
+				strconv.Itoa(s.Tally.AC),
+				strconv.Itoa(s.Tally.SC),
+				strconv.FormatFloat(s.Severity(weights), 'f', 3, 64),
+				s.Region().String(),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCampaigns parses a CSV produced by WriteCampaigns back into campaign
+// results (severity and region columns are recomputed, not trusted).
+func ReadCampaigns(r io.Reader) ([]*core.CampaignResult, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("csvutil: empty file")
+	}
+	if len(rows[0]) != len(campaignHeader) || rows[0][0] != "chip" {
+		return nil, fmt.Errorf("csvutil: unexpected header %v", rows[0])
+	}
+	type key struct {
+		chip, bench, input string
+		coreID             int
+		freq               units.MegaHertz
+	}
+	var order []key
+	byKey := map[key]*core.CampaignResult{}
+	for i, row := range rows[1:] {
+		ints := make([]int, 9)
+		for j, col := range []int{3, 4, 5, 6, 7, 8, 9, 10, 11} {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				return nil, fmt.Errorf("csvutil: row %d col %d: %w", i+2, col, err)
+			}
+			ints[j] = v
+		}
+		k := key{row[0], row[1], row[2], ints[0], units.MegaHertz(ints[1])}
+		res, ok := byKey[k]
+		if !ok {
+			res = &core.CampaignResult{
+				Chip: k.chip, Benchmark: k.bench, Input: k.input,
+				Core: k.coreID, Frequency: k.freq,
+			}
+			byKey[k] = res
+			order = append(order, k)
+		}
+		res.Steps = append(res.Steps, core.StepResult{
+			Voltage: units.MilliVolts(ints[2]),
+			Tally: core.Tally{
+				N: ints[3], SDC: ints[4], CE: ints[5],
+				UE: ints[6], AC: ints[7], SC: ints[8],
+			},
+		})
+	}
+	out := make([]*core.CampaignResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out, nil
+}
+
+// rawHeader is the column layout of an execution-phase raw log CSV.
+var rawHeader = []string{
+	"chip", "benchmark", "input", "core", "frequency_mhz", "voltage_mv",
+	"run", "exit_code", "output_mismatch", "delta_ce", "delta_ue",
+	"system_crashed", "recovered", "classes", "error_locations",
+}
+
+// WriteRaw renders execution-phase run records, one row per run, with the
+// classified effect list in the last column.
+func WriteRaw(w io.Writer, records []core.RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rawHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			r.Chip, r.Benchmark, r.Input,
+			strconv.Itoa(r.Core),
+			strconv.Itoa(int(r.Frequency)),
+			strconv.Itoa(int(r.Voltage)),
+			strconv.Itoa(r.RunIndex),
+			strconv.Itoa(r.ExitCode),
+			strconv.FormatBool(r.OutputMismatch),
+			strconv.FormatUint(r.DeltaCE, 10),
+			strconv.FormatUint(r.DeltaUE, 10),
+			strconv.FormatBool(r.SystemCrashed),
+			strconv.FormatBool(r.Recovered),
+			r.Classify().String(),
+			r.LocationSummary(),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

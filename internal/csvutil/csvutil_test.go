@@ -1,0 +1,147 @@
+package csvutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xvolt/internal/core"
+)
+
+func sampleResults() []*core.CampaignResult {
+	return []*core.CampaignResult{
+		{
+			Chip: "TTT", Benchmark: "bwaves", Input: "ref", Core: 4, Frequency: 2400,
+			Steps: []core.StepResult{
+				{Voltage: 890, Tally: core.Tally{N: 10}},
+				{Voltage: 885, Tally: core.Tally{N: 10, SDC: 2, CE: 5}},
+				{Voltage: 880, Tally: core.Tally{N: 10, SC: 10}},
+			},
+		},
+		{
+			Chip: "TFF", Benchmark: "mcf", Input: "train", Core: 0, Frequency: 1200,
+			Steps: []core.StepResult{
+				{Voltage: 760, Tally: core.Tally{N: 5}},
+			},
+		},
+	}
+}
+
+func TestWriteCampaigns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCampaigns(&buf, sampleResults(), core.PaperWeights); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 steps
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "chip,benchmark,input,core,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The 885 mV step: severity 4·0.2 + 1·0.5 = 1.3, unsafe region.
+	if !strings.Contains(out, "TTT,bwaves,ref,4,2400,885,10,2,5,0,0,0,1.300,unsafe") {
+		t.Errorf("missing expected row in:\n%s", out)
+	}
+	if !strings.Contains(out, "880,10,0,0,0,0,10,16.000,crash") {
+		t.Errorf("missing crash row in:\n%s", out)
+	}
+	if !strings.Contains(out, "TFF,mcf,train,0,1200,760,5,0,0,0,0,0,0.000,safe") {
+		t.Errorf("missing safe row in:\n%s", out)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleResults()
+	var buf bytes.Buffer
+	if err := WriteCampaigns(&buf, want, core.PaperWeights); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCampaigns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost campaigns: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Chip != w.Chip || g.Benchmark != w.Benchmark || g.Input != w.Input ||
+			g.Core != w.Core || g.Frequency != w.Frequency {
+			t.Errorf("campaign %d metadata: %+v vs %+v", i, g, w)
+		}
+		if len(g.Steps) != len(w.Steps) {
+			t.Fatalf("campaign %d steps: %d vs %d", i, len(g.Steps), len(w.Steps))
+		}
+		for j := range w.Steps {
+			if g.Steps[j] != w.Steps[j] {
+				t.Errorf("campaign %d step %d: %+v vs %+v", i, j, g.Steps[j], w.Steps[j])
+			}
+		}
+	}
+}
+
+func TestReadCampaignsErrors(t *testing.T) {
+	if _, err := ReadCampaigns(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ReadCampaigns(strings.NewReader("foo,bar\n1,2\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	bad := "chip,benchmark,input,core,frequency_mhz,voltage_mv,runs,sdc,ce,ue,ac,sc,severity,region\n" +
+		"TTT,b,ref,X,2400,900,10,0,0,0,0,0,0.0,safe\n"
+	if _, err := ReadCampaigns(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric core accepted")
+	}
+}
+
+func TestWriteRaw(t *testing.T) {
+	recs := []core.RunRecord{
+		{
+			Chip: "TTT", Benchmark: "bwaves", Input: "ref", Core: 4,
+			Frequency: 2400, Voltage: 885, RunIndex: 3,
+			OutputMismatch: true, DeltaCE: 12,
+		},
+		{
+			Chip: "TTT", Benchmark: "bwaves", Input: "ref", Core: 4,
+			Frequency: 2400, Voltage: 875, RunIndex: 0,
+			SystemCrashed: true, Recovered: true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "885,3,0,true,12,0,false,false,SDC+CE") {
+		t.Errorf("missing SDC row in:\n%s", out)
+	}
+	if !strings.Contains(out, "875,0,0,false,0,0,true,true,SC") {
+		t.Errorf("missing crash row in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+// failWriter forces write errors to exercise the error paths.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	if err := WriteCampaigns(&failWriter{}, sampleResults(), core.PaperWeights); err == nil {
+		t.Error("write error swallowed")
+	}
+	if err := WriteRaw(&failWriter{}, []core.RunRecord{{}}); err == nil {
+		t.Error("raw write error swallowed")
+	}
+}

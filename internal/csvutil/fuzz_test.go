@@ -1,0 +1,41 @@
+package csvutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xvolt/internal/core"
+)
+
+// FuzzReadCampaigns: arbitrary bytes must never panic the CSV parser, and
+// anything it accepts must round-trip through the writer.
+func FuzzReadCampaigns(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCampaigns(&seed, sampleResults(), core.PaperWeights); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("chip,benchmark\n")
+	f.Add("chip,benchmark,input,core,frequency_mhz,voltage_mv,runs,sdc,ce,ue,ac,sc,severity,region\nTTT,b,ref,notanumber,2400,900,10,0,0,0,0,0,0,safe\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		results, err := ReadCampaigns(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-serialize cleanly.
+		var buf bytes.Buffer
+		if err := WriteCampaigns(&buf, results, core.PaperWeights); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+		// And parse again to the same campaign count.
+		again, err := ReadCampaigns(&buf)
+		if err != nil {
+			t.Fatalf("re-serialized output rejected: %v", err)
+		}
+		if len(again) != len(results) {
+			t.Fatalf("round trip changed campaign count: %d vs %d", len(again), len(results))
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package edac
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLocationString(t *testing.T) {
+	cases := map[Location]string{L1: "l1", L2: "l2", L3: "l3", DRAM: "mc"}
+	for loc, want := range cases {
+		if got := loc.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(loc), got, want)
+		}
+	}
+	if got := Location(99).String(); !strings.HasPrefix(got, "loc(") {
+		t.Errorf("unknown location = %q", got)
+	}
+}
+
+func TestReportAndSnapshot(t *testing.T) {
+	d := New()
+	d.ReportCE(L2, 3, 5)
+	d.ReportCE(L3, 3, 2)
+	d.ReportUE(DRAM, -1, 1)
+	c := d.Snapshot()
+	if c.CE[L2] != 5 || c.CE[L3] != 2 || c.UE[DRAM] != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.TotalCE() != 7 || c.TotalUE() != 1 {
+		t.Errorf("totals = %d/%d", c.TotalCE(), c.TotalUE())
+	}
+}
+
+func TestReportIgnoresInvalid(t *testing.T) {
+	d := New()
+	d.ReportCE(L2, 0, 0)
+	d.ReportCE(L2, 0, -3)
+	d.ReportCE(Location(99), 0, 5)
+	d.ReportUE(Location(-1), 0, 5)
+	if c := d.Snapshot(); c.TotalCE() != 0 || c.TotalUE() != 0 {
+		t.Errorf("invalid reports counted: %+v", c)
+	}
+	if len(d.Log()) != 0 {
+		t.Error("invalid reports logged")
+	}
+}
+
+func TestSubDelta(t *testing.T) {
+	d := New()
+	d.ReportCE(L2, 1, 2)
+	before := d.Snapshot()
+	d.ReportCE(L2, 1, 3)
+	d.ReportUE(L3, 1, 1)
+	delta := d.Snapshot().Sub(before)
+	if delta.CE[L2] != 3 || delta.UE[L3] != 1 || delta.CE[L3] != 0 {
+		t.Errorf("delta = %+v", delta)
+	}
+}
+
+func TestLogContent(t *testing.T) {
+	d := New()
+	d.ReportUE(L3, 4, 2)
+	log := d.Log()
+	if len(log) != 1 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	s := log[0].String()
+	if !strings.Contains(s, "l3") || !strings.Contains(s, "UE") || !strings.Contains(s, "core 4") {
+		t.Errorf("log line = %q", s)
+	}
+	d.ReportCE(L2, 0, 1)
+	if got := d.Log()[1].String(); !strings.Contains(got, "CE") {
+		t.Errorf("CE log line = %q", got)
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	d := New()
+	for i := 0; i < maxLog+100; i++ {
+		d.ReportCE(L2, 0, 1)
+	}
+	if got := len(d.Log()); got != maxLog {
+		t.Errorf("log length = %d, want %d", got, maxLog)
+	}
+	if c := d.Snapshot(); c.CE[L2] != uint64(maxLog+100) {
+		t.Errorf("counter lost events: %d", c.CE[L2])
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.ReportCE(L2, 0, 5)
+	d.Reset()
+	if c := d.Snapshot(); c.TotalCE() != 0 {
+		t.Errorf("counts after reset: %+v", c)
+	}
+	if len(d.Log()) != 0 {
+		t.Error("log not cleared")
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.ReportCE(L2, 0, 1)
+				d.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c := d.Snapshot(); c.CE[L2] != 800 {
+		t.Errorf("lost concurrent reports: %d", c.CE[L2])
+	}
+}
+
+func TestLogCopyIsolation(t *testing.T) {
+	d := New()
+	d.ReportCE(L2, 0, 1)
+	log := d.Log()
+	log[0].Count = 999
+	if d.Log()[0].Count != 1 {
+		t.Error("Log returned live reference")
+	}
+}

@@ -1,0 +1,269 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xvolt/internal/units"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestNominalPoint(t *testing.T) {
+	p := Nominal()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "nominal power", p.RelativePower(), 1, 1e-12)
+	approx(t, "nominal perf", p.RelativePerformance(), 1, 1e-12)
+	approx(t, "nominal savings", p.PowerSavings(), 0, 1e-12)
+}
+
+func TestValidate(t *testing.T) {
+	p := Nominal()
+	p.Voltage = 913
+	if err := p.Validate(); err == nil {
+		t.Error("off-grid voltage accepted")
+	}
+	p = Nominal()
+	p.Frequencies[2] = 1000
+	if err := p.Validate(); err == nil {
+		t.Error("off-grid frequency accepted")
+	}
+}
+
+// Fig. 9 anchors where the figure and the model agree (paper §5):
+// all PMDs at 2.4 GHz / 915 mV → 87.2 % power; 1 PMD at 1.2 → 73.8 % @
+// 900 mV; 2 PMDs → 61.2 % @ 885 mV; 3 PMDs → 49.8 % @ 875 mV.
+func TestFigure9Anchors(t *testing.T) {
+	mk := func(v units.MilliVolts, slow int) OperatingPoint {
+		p := Nominal()
+		p.Voltage = v
+		for i := 0; i < slow; i++ {
+			p.Frequencies[i] = units.HalfFrequency
+		}
+		return p
+	}
+	cases := []struct {
+		v           units.MilliVolts
+		slow        int
+		power, perf float64
+	}{
+		{980, 0, 1.000, 1.000},
+		{915, 0, 0.872, 1.000},
+		{900, 1, 0.738, 0.875},
+		{885, 2, 0.612, 0.750},
+		{875, 3, 0.498, 0.625},
+	}
+	for _, c := range cases {
+		p := mk(c.v, c.slow)
+		approx(t, p.Voltage.String()+" power", p.RelativePower(), c.power, 0.0015)
+		approx(t, p.Voltage.String()+" perf", p.RelativePerformance(), c.perf, 1e-9)
+	}
+	// §5 text anchor: all PMDs at 1.2 GHz / 760 mV → 69.9 % power saving.
+	p := mk(760, 4)
+	approx(t, "760mV full-downshift savings", p.PowerSavings(), 0.699, 0.002)
+}
+
+// §3.2 / §5 voltage-only savings anchors.
+func TestVoltageSavingsAnchors(t *testing.T) {
+	cases := []struct {
+		v    units.MilliVolts
+		want float64
+	}{
+		{880, 0.194}, // §5: 19.4 % without performance loss
+		{885, 0.184}, // §3.2: at least 18.4 % for TTT/TFF
+		{900, 0.157}, // §3.2: 15.7 % for TSS
+		{915, 0.128}, // §5: 12.8 % chip-wide for leslie3d
+	}
+	for _, c := range cases {
+		approx(t, c.v.String(), VoltageSavings(c.v), c.want, 0.0015)
+	}
+}
+
+func TestTradeoffCurveShape(t *testing.T) {
+	// The paper's 8-benchmark workload: PMD requirements at full speed.
+	reqs := []PMDRequirement{
+		{PMD: 0, FullSpeed: 915, HalfSpeed: 760},
+		{PMD: 1, FullSpeed: 900, HalfSpeed: 760},
+		{PMD: 2, FullSpeed: 875, HalfSpeed: 760},
+		{PMD: 3, FullSpeed: 885, HalfSpeed: 760},
+	}
+	pts, err := TradeoffCurve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // nominal + 5 downshift states (0..4 PMDs slow)
+		t.Fatalf("curve has %d points, want 6", len(pts))
+	}
+	// Voltages visit the sorted requirements then the floor.
+	wantV := []units.MilliVolts{980, 915, 900, 885, 875, 760}
+	wantPerf := []float64{1, 1, 0.875, 0.75, 0.625, 0.5}
+	for i, p := range pts {
+		if p.Voltage != wantV[i] {
+			t.Errorf("point %d voltage = %v, want %v", i, p.Voltage, wantV[i])
+		}
+		approx(t, "perf", p.Performance, wantPerf[i], 1e-9)
+		if err := p.Validate(); err != nil {
+			t.Errorf("point %d invalid: %v", i, err)
+		}
+	}
+	// Power strictly decreasing, performance non-increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Power >= pts[i-1].Power {
+			t.Errorf("power not decreasing at %d: %v → %v", i, pts[i-1].Power, pts[i].Power)
+		}
+		if pts[i].Performance > pts[i-1].Performance {
+			t.Errorf("performance increased at %d", i)
+		}
+	}
+	// Downshift order is weakest-first: PMD0 (915) then PMD1 (900).
+	if len(pts[2].Downshifted) != 1 || pts[2].Downshifted[0] != 0 {
+		t.Errorf("first downshift = %v, want [0]", pts[2].Downshifted)
+	}
+	if len(pts[3].Downshifted) != 2 || pts[3].Downshifted[1] != 1 {
+		t.Errorf("second downshift = %v, want [0 1]", pts[3].Downshifted)
+	}
+	// §5 headline: the 2-PMD downshift point saves 38.8 % at 75 % perf.
+	approx(t, "38.8% point", 1-pts[3].Power, 0.388, 0.002)
+	// And the first undervolt-only point saves 12.8 % at full performance.
+	approx(t, "12.8% point", 1-pts[1].Power, 0.128, 0.002)
+	if !strings.Contains(pts[1].Label(), "915mV") {
+		t.Errorf("label = %q", pts[1].Label())
+	}
+}
+
+func TestTradeoffCurveErrors(t *testing.T) {
+	if _, err := TradeoffCurve(nil); err == nil {
+		t.Error("empty requirements accepted")
+	}
+	if _, err := TradeoffCurve(make([]PMDRequirement, 5)); err == nil {
+		t.Error("5 requirements accepted")
+	}
+	if _, err := TradeoffCurve([]PMDRequirement{{PMD: 9, FullSpeed: 900, HalfSpeed: 760}}); err == nil {
+		t.Error("bad PMD accepted")
+	}
+	if _, err := TradeoffCurve([]PMDRequirement{{PMD: 0, FullSpeed: 903, HalfSpeed: 760}}); err == nil {
+		t.Error("off-grid requirement accepted")
+	}
+}
+
+func TestTradeoffCurveSinglePMD(t *testing.T) {
+	pts, err := TradeoffCurve([]PMDRequirement{{PMD: 2, FullSpeed: 880, HalfSpeed: 760}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(pts))
+	}
+	if pts[1].Voltage != 880 || pts[2].Voltage != 760 {
+		t.Errorf("voltages = %v, %v", pts[1].Voltage, pts[2].Voltage)
+	}
+}
+
+func TestRequirementsFromVmins(t *testing.T) {
+	vmins := map[int]units.MilliVolts{
+		0: 915, 1: 910, // PMD0
+		2: 890, 3: 900, // PMD1
+		4: 875, // PMD2 (core 5 idle)
+		// PMD3 idle
+	}
+	reqs := RequirementsFromVmins(vmins, 760)
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requirements, want 3", len(reqs))
+	}
+	want := map[int]units.MilliVolts{0: 915, 1: 900, 2: 875}
+	for _, r := range reqs {
+		if want[r.PMD] != r.FullSpeed {
+			t.Errorf("PMD%d requirement = %v, want %v", r.PMD, r.FullSpeed, want[r.PMD])
+		}
+		if r.HalfSpeed != 760 {
+			t.Errorf("PMD%d half floor = %v", r.PMD, r.HalfSpeed)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize("TTT", []units.MilliVolts{885, 875, 870, 865, 880, 860, 875, 865, 870, 875})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WorstVmin != 885 || s.BestVmin != 860 {
+		t.Errorf("summary = %+v", s)
+	}
+	// §3.2: "at least 18.4 % for the TTT chip".
+	approx(t, "TTT min savings", s.MinSavings, 0.184, 0.002)
+	if s.MaxSavings <= s.MinSavings {
+		t.Error("max savings not above min")
+	}
+	if _, err := Summarize("X", nil); err == nil {
+		t.Error("empty summary accepted")
+	}
+}
+
+// TSS anchor: worst Vmin 900 → 15.7 %.
+func TestSummarizeTSS(t *testing.T) {
+	s, err := Summarize("TSS", []units.MilliVolts{900, 890, 885, 880, 895, 870, 890, 880, 885, 890})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "TSS min savings", s.MinSavings, 0.157, 0.002)
+}
+
+// Property: for random valid requirement sets the trade-off curve is
+// well-formed — power strictly decreasing, performance non-increasing,
+// every point's rail covering the still-fast PMDs' requirements.
+func TestTradeoffCurveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4)
+		reqs := make([]PMDRequirement, n)
+		perm := rng.Perm(4)
+		for i := 0; i < n; i++ {
+			reqs[i] = PMDRequirement{
+				PMD:       perm[i],
+				FullSpeed: units.MilliVolts(860 + 5*rng.Intn(14)),
+				HalfSpeed: units.MilliVolts(755 + 5*rng.Intn(3)),
+			}
+		}
+		pts, err := TradeoffCurve(reqs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(pts) != n+2 {
+			t.Fatalf("trial %d: %d points for %d PMDs", trial, len(pts), n)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Power >= pts[i-1].Power {
+				t.Fatalf("trial %d: power not decreasing at %d (%v -> %v, reqs %+v)",
+					trial, i, pts[i-1].Power, pts[i].Power, reqs)
+			}
+			if pts[i].Performance > pts[i-1].Performance {
+				t.Fatalf("trial %d: performance increased at %d", trial, i)
+			}
+		}
+		for _, p := range pts[1:] { // skip the nominal point
+			down := map[int]bool{}
+			for _, d := range p.Downshifted {
+				down[d] = true
+			}
+			for _, r := range reqs {
+				if down[r.PMD] {
+					if p.Voltage < r.HalfSpeed {
+						t.Fatalf("trial %d: rail %v below half floor %v", trial, p.Voltage, r.HalfSpeed)
+					}
+				} else if p.Voltage < r.FullSpeed {
+					t.Fatalf("trial %d: rail %v below PMD%d requirement %v",
+						trial, p.Voltage, r.PMD, r.FullSpeed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xvolt/internal/units"
+)
+
+// bar renders a horizontal bar of width proportional to (v−lo)/(hi−lo)
+// over maxWidth characters, clamped into [0, maxWidth].
+func bar(v, lo, hi float64, maxWidth int) string {
+	if hi <= lo || maxWidth <= 0 {
+		return ""
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(maxWidth) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", maxWidth-n)
+}
+
+// RenderFigure3Chart draws Fig. 3 as horizontal bars: the Vmin of each
+// benchmark on each chip over the figure's 850–930 mV axis.
+func RenderFigure3Chart(w io.Writer, f *Fig4Result) {
+	fmt.Fprintln(w, "Figure 3 (chart): safe Vmin at 2.4 GHz, most robust core")
+	fmt.Fprintln(w, "  axis: 850 mV ─────────────────────────── 930 mV")
+	for _, bench := range f.Benchmarks {
+		for _, chip := range f.Chips {
+			v, ok := f.RobustVmin(chip, bench)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-11s %-4s %s %v\n",
+				bench, chip, bar(float64(v), 850, 930, 40), v)
+		}
+	}
+}
+
+// RenderFigure5Chart draws the severity map as a character heat map
+// (space < ░ < ▒ < ▓ < █ over the 0–16+ severity scale), the visual
+// analogue of the paper's Fig. 5 color matrix.
+func RenderFigure5Chart(w io.Writer, f *Fig5Result) {
+	fmt.Fprintln(w, "Figure 5 (heat map): bwaves severity on TTT — cores 0-7 per row")
+	shade := func(s float64) byte {
+		switch {
+		case s < 0:
+			return '-' // not swept
+		case s == 0:
+			return ' '
+		case s < 2:
+			return '.'
+		case s < 5:
+			return ':'
+		case s < 9:
+			return '*'
+		case s < 14:
+			return '#'
+		default:
+			return '@'
+		}
+	}
+	for i, v := range f.Voltages {
+		row := make([]byte, 0, 16)
+		for c := 0; c < len(f.Severity); c++ {
+			row = append(row, shade(f.Severity[c][i]), ' ')
+		}
+		fmt.Fprintf(w, "  %4dmV |%s|\n", int(v), string(row))
+	}
+	fmt.Fprintln(w, "  scale: ' '=0  .<2  :<5  *<9  #<14  @=crash-level  -=not swept")
+}
+
+// RenderFigure9Chart draws the trade-off curve as a power-axis scatter.
+func RenderFigure9Chart(w io.Writer, f *Fig9Result) {
+	fmt.Fprintln(w, "Figure 9 (chart): relative power per operating point")
+	fmt.Fprintln(w, "  axis: 0 % ──────────────────────────── 100 %")
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "  perf %5.1f%% %s %5.1f%% @ %v\n",
+			p.Performance*100, bar(p.Power, 0, 1, 40), p.Power*100, p.Voltage)
+	}
+}
+
+// RenderGuardbandChart draws the §3.2 per-chip guardband spans.
+func RenderGuardbandChart(w io.Writer, g *GuardbandResult) {
+	fmt.Fprintln(w, "Guardband spans (chart): robust-core Vmin range per chip")
+	for _, s := range g.Summaries {
+		lo, hi := float64(s.BestVmin), float64(s.WorstVmin)
+		width := 40
+		start := int((lo - 850) / 80 * float64(width))
+		end := int((hi - 850) / 80 * float64(width))
+		if start < 0 {
+			start = 0
+		}
+		if end > width {
+			end = width
+		}
+		if end < start {
+			end = start
+		}
+		line := strings.Repeat("·", start) + strings.Repeat("█", end-start+1)
+		if pad := width - len([]rune(line)); pad > 0 {
+			line += strings.Repeat("·", pad)
+		}
+		fmt.Fprintf(w, "  %-4s %s %v–%v (nominal %v)\n",
+			s.Chip, line, s.BestVmin, s.WorstVmin, units.NominalPMD)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 0, 1, 10); got != "█████·····" {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if got := bar(0, 0, 1, 4); got != "····" {
+		t.Errorf("bar(0) = %q", got)
+	}
+	if got := bar(1, 0, 1, 4); got != "████" {
+		t.Errorf("bar(1) = %q", got)
+	}
+	if got := bar(2, 0, 1, 4); got != "████" {
+		t.Errorf("bar overflow = %q", got)
+	}
+	if got := bar(-1, 0, 1, 4); got != "····" {
+		t.Errorf("bar underflow = %q", got)
+	}
+	if got := bar(1, 1, 1, 4); got != "" {
+		t.Errorf("bar degenerate = %q", got)
+	}
+	if got := bar(1, 0, 1, 0); got != "" {
+		t.Errorf("bar zero width = %q", got)
+	}
+}
+
+func TestFigure3Chart(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFigure3Chart(&buf, figure4(t))
+	out := buf.String()
+	if !strings.Contains(out, "bwaves") || !strings.Contains(out, "█") {
+		t.Errorf("chart incomplete:\n%s", out)
+	}
+	// 10 benchmarks × 3 chips + 2 header lines.
+	if lines := strings.Count(out, "\n"); lines != 32 {
+		t.Errorf("chart has %d lines, want 32", lines)
+	}
+}
+
+func TestFigure5Chart(t *testing.T) {
+	f, err := Figure5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure5Chart(&buf, f)
+	out := buf.String()
+	if !strings.Contains(out, "scale:") {
+		t.Error("missing scale legend")
+	}
+	// Crash-level severities must appear somewhere in the map.
+	if !strings.Contains(out, "@") {
+		t.Errorf("no crash-level cells:\n%s", out)
+	}
+	// The top row (980 mV) is all clean.
+	first := strings.SplitN(out, "\n", 3)[1]
+	if strings.ContainsAny(first, ":*#@") {
+		t.Errorf("top row not clean: %q", first)
+	}
+}
+
+func TestFigure9Chart(t *testing.T) {
+	f, err := Figure9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure9Chart(&buf, f)
+	out := buf.String()
+	if strings.Count(out, "perf") != len(f.Points) {
+		t.Errorf("chart rows != points:\n%s", out)
+	}
+	if !strings.Contains(out, "760mV") {
+		t.Errorf("missing final point:\n%s", out)
+	}
+}
+
+func TestGuardbandChart(t *testing.T) {
+	g, err := Guardbands(figure4(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderGuardbandChart(&buf, g)
+	out := buf.String()
+	for _, chip := range []string{"TTT", "TFF", "TSS"} {
+		if !strings.Contains(out, chip) {
+			t.Errorf("missing %s:\n%s", chip, out)
+		}
+	}
+	if !strings.Contains(out, "980mV") {
+		t.Error("missing nominal annotation")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The §6 ablation: stronger ECC must open a CE-only band and suppress the
+// SDC-first signature; adaptive clocking must lower the safe Vmin at a
+// small performance cost; per-PMD rails must beat the shared rail.
+func TestDesignEnhancements(t *testing.T) {
+	e, err := DesignEnhancements(Paper(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ecc, ad := e.Baseline, e.StrongECC, e.Adaptive
+
+	if !base.FirstEffectSDC {
+		t.Error("baseline first effect lacks SDC (X-Gene signature lost)")
+	}
+	if base.CEOnlyBand > 5 {
+		t.Errorf("baseline CE-only band = %v, want ≈0 (no ECC proxy on X-Gene)", base.CEOnlyBand)
+	}
+	// DECTED: CE band appears, SDC-first suppressed.
+	if ecc.CEOnlyBand < 5 {
+		t.Errorf("DECTED CE-only band = %v, want > 0 (Itanium-like proxy restored)", ecc.CEOnlyBand)
+	}
+	if ecc.FirstEffectSDC {
+		t.Error("DECTED still fails SDC-first")
+	}
+	// Adaptive clocking: lower safe point, nonzero perf cost.
+	if ad.SafeVmin >= base.SafeVmin {
+		t.Errorf("adaptive safe Vmin %v not below baseline %v", ad.SafeVmin, base.SafeVmin)
+	}
+	if base.SafeVmin-ad.SafeVmin > 25 {
+		t.Errorf("adaptive gain %v implausibly large", base.SafeVmin-ad.SafeVmin)
+	}
+	if ad.PerfCost <= 0 || ad.PerfCost > 0.10 {
+		t.Errorf("adaptive perf cost = %v", ad.PerfCost)
+	}
+	if base.PerfCost != 0 || ecc.PerfCost != 0 {
+		t.Error("non-adaptive configs must have zero perf cost")
+	}
+	// Finer-grained rails beat the shared rail (§6 "Finer-grained voltage
+	// domains").
+	if e.PerPMDRailSavings <= e.SharedRailSavings {
+		t.Errorf("per-PMD rails %.3f not above shared rail %.3f",
+			e.PerPMDRailSavings, e.SharedRailSavings)
+	}
+	if gain := e.PerPMDRailSavings - e.SharedRailSavings; gain > 0.10 {
+		t.Errorf("per-PMD gain %.3f implausibly large", gain)
+	}
+}
+
+func TestItaniumComparison(t *testing.T) {
+	rows, err := ItaniumComparison(Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xg, it := rows[0], rows[1]
+	if xg.Model != "xgene" || it.Model != "itanium" {
+		t.Fatalf("rows mislabeled: %+v", rows)
+	}
+	if !xg.FirstEffectSDC {
+		t.Error("X-Gene model first effect lacks SDC")
+	}
+	if it.FirstEffectSDC {
+		t.Error("Itanium model fails SDC-first")
+	}
+	if it.CEOnlyBand < 10 {
+		t.Errorf("Itanium CE-only band = %v, want wide", it.CEOnlyBand)
+	}
+	if xg.CEOnlyBand >= it.CEOnlyBand {
+		t.Errorf("X-Gene CE band %v not below Itanium %v", xg.CEOnlyBand, it.CEOnlyBand)
+	}
+}
+
+func TestRenderEnhancementsAndComparison(t *testing.T) {
+	e, err := DesignEnhancements(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderEnhancements(&buf, e)
+	if !strings.Contains(buf.String(), "per-PMD rails") || !strings.Contains(buf.String(), "DECTED") {
+		t.Errorf("enhancement render incomplete:\n%s", buf.String())
+	}
+	rows, err := ItaniumComparison(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderItaniumComparison(&buf, rows)
+	if !strings.Contains(buf.String(), "itanium") {
+		t.Errorf("comparison render incomplete:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIterationStudy(t *testing.T) {
+	rows, err := IterationStudy(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	one, ten := rows[0], rows[2]
+	if one.Runs != 1 || ten.Runs != 10 {
+		t.Fatalf("rows mislabeled: %+v", rows)
+	}
+	// More repetitions can only push the detected Vmin up (more chances
+	// to observe a marginal effect) — never down.
+	if ten.WorstVmin < one.WorstVmin {
+		t.Errorf("10-run worst Vmin %v below 1-run %v", ten.WorstVmin, one.WorstVmin)
+	}
+	// Single-run campaigns are optimistic: their best estimate sits below
+	// the 10-run policy's.
+	if one.BestVmin >= ten.WorstVmin {
+		t.Errorf("1-run campaigns (%v) not optimistic vs 10-run (%v)",
+			one.BestVmin, ten.WorstVmin)
+	}
+	// The 10-run policy lands on the calibrated bwaves/core0 value.
+	if ten.WorstVmin < 910 || ten.WorstVmin > 920 {
+		t.Errorf("10-run Vmin %v, want ≈915", ten.WorstVmin)
+	}
+	var buf bytes.Buffer
+	RenderIterationStudy(&buf, rows)
+	if !strings.Contains(buf.String(), "10 run(s)") {
+		t.Errorf("render incomplete:\n%s", buf.String())
+	}
+}
+
+func TestIterationStudyDefaultsCampaigns(t *testing.T) {
+	rows, err := IterationStudy(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Campaigns != 5 {
+		t.Errorf("default campaigns = %d", rows[0].Campaigns)
+	}
+}

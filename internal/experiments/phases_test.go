@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPhasedGoverning(t *testing.T) {
+	p, err := PhasedGoverning(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 2 {
+		t.Fatalf("got %d phases", len(p.Rows))
+	}
+	// The compute phase (bwaves-like) pins the whole-program rail.
+	if p.WholeProgramVmin != p.Rows[1].SafeVmin {
+		t.Errorf("whole-program rail %v != solve phase %v",
+			p.WholeProgramVmin, p.Rows[1].SafeVmin)
+	}
+	if p.Rows[0].SafeVmin >= p.Rows[1].SafeVmin {
+		t.Errorf("setup phase %v not below solve phase %v",
+			p.Rows[0].SafeVmin, p.Rows[1].SafeVmin)
+	}
+	// Per-phase governing strictly beats whole-program governing.
+	if p.PhasedSavings <= p.WholeSavings {
+		t.Errorf("phased %.3f not above whole %.3f", p.PhasedSavings, p.WholeSavings)
+	}
+	if gain := p.PhasedSavings - p.WholeSavings; gain > 0.05 {
+		t.Errorf("phase gain %.3f implausibly large for a 40%% setup phase", gain)
+	}
+	var buf bytes.Buffer
+	RenderPhased(&buf, p)
+	if !strings.Contains(buf.String(), "per-phase rails") {
+		t.Errorf("render incomplete:\n%s", buf.String())
+	}
+}

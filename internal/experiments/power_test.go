@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasuredPower(t *testing.T) {
+	p, err := MeasuredPower(Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NominalWatts <= 0 || p.UndervoltedWatts <= 0 {
+		t.Fatalf("non-positive power readings: %+v", p)
+	}
+	if p.UndervoltedWatts >= p.NominalWatts {
+		t.Errorf("undervolted power %.2f not below nominal %.2f",
+			p.UndervoltedWatts, p.NominalWatts)
+	}
+	// The board-level saving is positive but below the PMD-dynamic-only
+	// analytic figure (leakage and the SoC rail are untouched).
+	if p.MeasuredSavings <= 0 || p.MeasuredSavings >= p.AnalyticSavings {
+		t.Errorf("measured %.3f vs analytic %.3f: want 0 < measured < analytic",
+			p.MeasuredSavings, p.AnalyticSavings)
+	}
+	// The variation-aware placement must harvest a meaningful margin.
+	if p.AnalyticSavings < 0.10 || p.AnalyticSavings > 0.25 {
+		t.Errorf("analytic savings %.3f outside the plausible §5 range", p.AnalyticSavings)
+	}
+	if p.Voltage < 880 || p.Voltage > 925 {
+		t.Errorf("placement rail %v implausible", p.Voltage)
+	}
+}
+
+func TestRenderMeasuredPower(t *testing.T) {
+	p, err := MeasuredPower(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderMeasuredPower(&buf, p)
+	if !strings.Contains(buf.String(), "PMpro board power") {
+		t.Errorf("render incomplete:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xvolt/internal/selftest"
+	"xvolt/internal/silicon"
+	"xvolt/internal/xgene"
+)
+
+// RenderTable1 prints the prior-work summary of Table 1 (literature, not
+// an experiment).
+func RenderTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Summary of studies on commercial chips")
+	rows := [][3]string{
+		{"POWER 7 / 7+", "IBM Power 750, 780", "45 / 32 nm"},
+		{"x86 – IA64 extension", "Intel Itanium 9560", "32 nm"},
+		{"Nvidia Fermi / Kepler", "GTX 480, 580, 680, 780", "40 / 28 nm"},
+		{"ARMv8", "APM X-Gene 2", "28 nm (this work)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %-24s %s\n", r[0], r[1], r[2])
+	}
+}
+
+// RenderTable2 prints the X-Gene 2 parameters.
+func RenderTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Basic parameters of APM X-Gene 2")
+	for _, row := range xgene.DefaultParams().Rows() {
+		fmt.Fprintf(w, "  %-18s %s\n", row[0], row[1])
+	}
+}
+
+// RenderTable3 prints the effect classification.
+func RenderTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Effects classification")
+	for _, row := range effectRows() {
+		fmt.Fprintf(w, "  %-4s %s\n", row[0], row[1])
+	}
+}
+
+// RenderFigure3 prints the most-robust-core Vmin per benchmark and chip.
+func RenderFigure3(w io.Writer, f *Fig4Result) {
+	fmt.Fprintln(w, "Figure 3: safe Vmin at 2.4 GHz, most robust core (mV)")
+	fmt.Fprintf(w, "  %-11s", "benchmark")
+	for _, chip := range f.Chips {
+		fmt.Fprintf(w, " %6s", chip)
+	}
+	fmt.Fprintln(w)
+	for _, bench := range f.Benchmarks {
+		fmt.Fprintf(w, "  %-11s", bench)
+		for _, chip := range f.Chips {
+			if v, ok := f.RobustVmin(chip, bench); ok {
+				fmt.Fprintf(w, " %6d", int(v))
+			} else {
+				fmt.Fprintf(w, " %6s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure4 prints the per-core safe/crash summary per chip and
+// benchmark plus the average lines.
+func RenderFigure4(w io.Writer, f *Fig4Result) {
+	fmt.Fprintln(w, "Figure 4: per-core characterization (safeVmin/crashVmax, mV)")
+	for _, chip := range f.Chips {
+		fmt.Fprintf(w, "  chip %s\n", chip)
+		for _, bench := range f.Benchmarks {
+			arr := f.PerCore[chip][bench]
+			fmt.Fprintf(w, "    %-11s", bench)
+			for c := 0; c < silicon.NumCores; c++ {
+				cr := arr[c]
+				sv, cv := "-", "-"
+				if cr.HasVmin {
+					sv = fmt.Sprintf("%d", int(cr.SafeVmin))
+				}
+				if cr.HasCrash {
+					cv = fmt.Sprintf("%d", int(cr.CrashVmax))
+				}
+				fmt.Fprintf(w, " %s/%s", sv, cv)
+			}
+			fmt.Fprintln(w)
+		}
+		if avg, ok := f.AverageVmin(chip); ok {
+			fmt.Fprintf(w, "    average Vmin  %.1f mV\n", avg)
+		}
+		if avg, ok := f.AverageCrash(chip); ok {
+			fmt.Fprintf(w, "    average crash %.1f mV\n", avg)
+		}
+	}
+}
+
+// RenderFigure5 prints the severity heat map.
+func RenderFigure5(w io.Writer, f *Fig5Result) {
+	fmt.Fprintln(w, "Figure 5: bwaves severity on TTT (rows: mV, cols: cores 0-7)")
+	fmt.Fprintf(w, "  %5s", "mV")
+	for c := 0; c < silicon.NumCores; c++ {
+		fmt.Fprintf(w, " %6s", fmt.Sprintf("core%d", c))
+	}
+	fmt.Fprintln(w)
+	for i, v := range f.Voltages {
+		fmt.Fprintf(w, "  %5d", int(v))
+		for c := 0; c < silicon.NumCores; c++ {
+			s := f.Severity[c][i]
+			if s < 0 {
+				fmt.Fprintf(w, " %6s", "-")
+			} else {
+				fmt.Fprintf(w, " %6.1f", s)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderPrediction prints the three §4.3 cases next to the paper numbers.
+func RenderPrediction(w io.Writer, p *PredictionResult) {
+	fmt.Fprintln(w, "Prediction (§4.3): measured vs paper")
+	fmt.Fprintf(w, "  case 1 (Vmin, core 0):     R2=%+.3f RMSE=%.2f mV (naive %.2f)   paper: R2≈0, RMSE≈5 mV, naive equal\n",
+		p.Case1.R2, p.Case1.RMSE, p.Case1.NaiveRMSE)
+	fmt.Fprintf(w, "  case 2 (severity, core 0): R2=%+.3f RMSE=%.2f (naive %.2f)       paper: R2=0.92, 2.8 vs 6.4\n",
+		p.Case2.R2, p.Case2.RMSE, p.Case2.NaiveRMSE)
+	fmt.Fprintf(w, "  case 3 (severity, core 4): R2=%+.3f RMSE=%.2f (naive %.2f)       paper: R2=0.91, 2.65 vs 6.9\n",
+		p.Case3.R2, p.Case3.RMSE, p.Case3.NaiveRMSE)
+	fmt.Fprintf(w, "  case 2 selected features:  %s\n", strings.Join(p.Case2.Selected, ", "))
+	fmt.Fprintf(w, "  case 3 selected features:  %s\n", strings.Join(p.Case3.Selected, ", "))
+}
+
+// RenderFigure9 prints the trade-off curve with the paper's coordinates.
+func RenderFigure9(w io.Writer, f *Fig9Result) {
+	fmt.Fprintln(w, "Figure 9: power/performance trade-off, 8-benchmark workload")
+	fmt.Fprintf(w, "  assignment:")
+	for c, n := range f.Assignment {
+		fmt.Fprintf(w, " core%d=%s", c, n)
+	}
+	fmt.Fprintln(w)
+	paper := []string{
+		"100.0% @ 980mV, perf 100.0%",
+		"87.2% @ 915mV, perf 100.0%",
+		"73.8% @ 900mV, perf 87.5%",
+		"61.2% @ 885mV, perf 75.0%",
+		"49.8% @ 875mV, perf 62.5%",
+		"37.6% @ 760mV, perf 50.0% (figure; text derives 30.1%)",
+	}
+	for i, p := range f.Points {
+		ref := ""
+		if i < len(paper) {
+			ref = "   paper: " + paper[i]
+		}
+		fmt.Fprintf(w, "  measured: %s%s\n", p.Label(), ref)
+	}
+}
+
+// RenderGuardbands prints the §3.2 summary.
+func RenderGuardbands(w io.Writer, g *GuardbandResult) {
+	fmt.Fprintln(w, "Guardbands (§3.2): most-robust-core Vmin range and minimum savings")
+	paperMin := map[string]string{"TTT": "≥18.4%", "TFF": "≥18.4%", "TSS": "15.7%"}
+	for _, s := range g.Summaries {
+		fmt.Fprintf(w, "  %s: Vmin %v–%v, min savings %.1f%% (paper %s), max %.1f%%\n",
+			s.Chip, s.BestVmin, s.WorstVmin, s.MinSavings*100, paperMin[s.Chip], s.MaxSavings*100)
+	}
+}
+
+// RenderHalfSpeed prints the 1.2 GHz result.
+func RenderHalfSpeed(w io.Writer, h *HalfSpeedResult) {
+	fmt.Fprintf(w, "1.2 GHz (§3.2/§5) on %s: Vmin per core =", h.Chip)
+	for _, v := range h.Vmin {
+		fmt.Fprintf(w, " %d", int(v))
+	}
+	fmt.Fprintf(w, " mV; unsafe steps = %d (paper: none); power saving %.1f%% (paper 69.9%%)\n",
+		h.UnsafeSteps, h.Savings*100)
+}
+
+// RenderSelfTests prints the §3.4 localization findings.
+func RenderSelfTests(w io.Writer, findings []selftest.Finding) {
+	fmt.Fprintln(w, "Self-tests (§3.4): component localization")
+	for _, f := range findings {
+		fmt.Fprintf(w, "  %-15s safe %v crash %v SDC-first=%v CE-seen=%v\n",
+			f.Test, f.SafeVmin, f.CrashVmax, f.SDCFirst, f.SawCE)
+	}
+	fmt.Fprintln(w, "  paper: ALU/FPU tests fail high with SDCs (timing paths); cache arrays survive far lower")
+}
+
+// effectRows returns Table 3's rows.
+func effectRows() [][2]string {
+	return [][2]string{
+		{"NO", "The benchmark was successfully completed without any indications of failure."},
+		{"SDC", "Completed, but the output mismatches the correct output."},
+		{"CE", "Errors detected and corrected by the hardware (Linux EDAC)."},
+		{"UE", "Errors detected but not corrected (Linux EDAC)."},
+		{"AC", "The application process terminated abnormally (non-zero exit)."},
+		{"SC", "The system was unresponsive or hit the timeout limit."},
+	}
+}
+
+// RenderTable4 prints the severity weights.
+func RenderTable4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: severity weights")
+	for _, row := range [][2]string{
+		{"WSC", "16"}, {"WAC", "8"}, {"WSDC", "4"}, {"WUE", "2"}, {"WCE", "1"}, {"WNO", "0"},
+	} {
+		fmt.Fprintf(w, "  %-5s %s\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xvolt/internal/units"
+)
+
+func TestSchedulingWithPrediction(t *testing.T) {
+	s, err := SchedulingWithPrediction(Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle is the floor; naive in-order placement the ceiling.
+	if s.OracleVoltage > s.NaiveVoltage {
+		t.Errorf("oracle %v above naive %v", s.OracleVoltage, s.NaiveVoltage)
+	}
+	// The per-core-mean policy must be SAFE (its rail covers every true
+	// requirement) and land within a few grid steps of the oracle.
+	if !s.Safe {
+		t.Error("per-core-mean scheduling chose an unsafe rail")
+	}
+	if s.PerCoreMeanVoltage < s.OracleVoltage {
+		t.Errorf("per-core-mean %v below the oracle %v yet safe?", s.PerCoreMeanVoltage, s.OracleVoltage)
+	}
+	if gap := s.PerCoreMeanVoltage - s.OracleVoltage; gap > 5*units.VoltageStep {
+		t.Errorf("per-core-mean %v too far above oracle %v (gap %v)",
+			s.PerCoreMeanVoltage, s.OracleVoltage, gap)
+	}
+	// And it should still beat the variation-blind scheduler or at worst
+	// match it.
+	if s.PerCoreMeanVoltage > s.NaiveVoltage+2*units.VoltageStep {
+		t.Errorf("per-core-mean %v worse than variation-blind %v", s.PerCoreMeanVoltage, s.NaiveVoltage)
+	}
+	var buf bytes.Buffer
+	RenderScheduling(&buf, s)
+	if !strings.Contains(buf.String(), "oracle") {
+		t.Errorf("render incomplete:\n%s", buf.String())
+	}
+}

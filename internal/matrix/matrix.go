@@ -1,0 +1,368 @@
+// Package matrix implements the dense linear algebra needed by the OLS
+// regression in internal/regress: matrix arithmetic, Householder QR
+// factorization and least-squares solves.
+//
+// Matrices are row-major and sized at construction. The package favors
+// clarity and numerical robustness over raw speed; problem sizes in this
+// project are tiny (tens of rows, ≤ ~100 columns).
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Errors returned by matrix operations.
+var (
+	ErrShape    = errors.New("matrix: shape mismatch")
+	ErrSingular = errors.New("matrix: singular or rank-deficient system")
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix. It panics on non-positive dimensions,
+// which always indicates a programming error in this code base.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally-long rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrShape
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, ErrShape
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return append([]float64(nil), m.data[i*m.cols:(i+1)*m.cols]...)
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// SetCol assigns column j from xs.
+func (m *Matrix) SetCol(j int, xs []float64) error {
+	if len(xs) != m.rows {
+		return ErrShape
+	}
+	for i, x := range xs {
+		m.Set(i, j, x)
+	}
+	return nil
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, ErrShape
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%10.4g", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// QR holds a Householder QR factorization A = Q·R with A m×n, m ≥ n.
+// Q is represented implicitly by its Householder reflectors.
+type QR struct {
+	qr   *Matrix   // packed reflectors + R upper triangle
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// Factor computes the QR factorization of a (which must have at least as
+// many rows as columns). The input is not modified.
+func Factor(a *Matrix) (*QR, error) {
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("%w: need rows >= cols, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	qr := a.Clone()
+	m, n := qr.rows, qr.cols
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rd[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries, i.e. the
+// factored matrix has full column rank to within tol (a relative threshold;
+// pass 0 for an exact-zero test).
+func (f *QR) FullRank(tol float64) bool {
+	maxDiag := 0.0
+	for _, d := range f.rd {
+		if a := math.Abs(d); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	thresh := tol * maxDiag
+	for _, d := range f.rd {
+		if math.Abs(d) <= thresh {
+			return false
+		}
+	}
+	return true
+}
+
+// rankTol is the relative diagonal threshold below which R is treated as
+// rank deficient: comfortably above float64 round-off, far below any
+// genuinely independent column.
+const rankTol = 1e-10
+
+// Solve finds x minimizing ‖A·x − b‖₂ via the factorization.
+// It returns ErrSingular when A is rank-deficient (relative to rankTol).
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, ErrShape
+	}
+	if !f.FullRank(rankTol) {
+		return nil, ErrSingular
+	}
+	y := append([]float64(nil), b...)
+	// Apply Qᵀ to b.
+	for k := 0; k < f.n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y.
+	x := make([]float64, f.n)
+	for k := f.n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < f.n; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		x[k] = s / f.rd[k]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ directly.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveRidge solves the ridge-regularized least squares problem
+// min ‖A·x − b‖₂² + λ‖x‖₂² by augmenting A with √λ·I. λ must be ≥ 0;
+// a small positive λ makes rank-deficient systems solvable.
+func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, errors.New("matrix: negative ridge penalty")
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	if len(b) != a.rows {
+		return nil, ErrShape
+	}
+	aug := New(a.rows+a.cols, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			aug.Set(i, j, a.At(i, j))
+		}
+	}
+	sq := math.Sqrt(lambda)
+	for j := 0; j < a.cols; j++ {
+		aug.Set(a.rows+j, j, sq)
+	}
+	bb := make([]float64, a.rows+a.cols)
+	copy(bb, b)
+	return LeastSquares(aug, bb)
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s = math.Hypot(s, v)
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrShape
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}

@@ -1,0 +1,110 @@
+package predict
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"xvolt/internal/core"
+	"xvolt/internal/counters"
+	"xvolt/internal/regress"
+	"xvolt/internal/units"
+)
+
+// ModelBank holds one fitted severity model per core, trained from a
+// characterization study — the artifact a deployed governor loads at boot.
+type ModelBank struct {
+	// Chip names the part the models were trained on.
+	Chip string `json:"chip"`
+	// ByCore maps the core index to its model and metadata.
+	ByCore map[int]*BankEntry `json:"by_core"`
+}
+
+// BankEntry is one core's trained model.
+type BankEntry struct {
+	Selected  []string       `json:"selected"`
+	TrainMean float64        `json:"train_mean"`
+	R2        float64        `json:"r2"`
+	RMSE      float64        `json:"rmse"`
+	Model     *regress.Model `json:"model"`
+}
+
+// TrainBank fits a severity model for every core present in the
+// characterization results, using the paper's pipeline settings.
+func TrainBank(results []*core.CampaignResult, profiles Profiles, w core.Weights, pipe Pipeline) (*ModelBank, error) {
+	coresSeen := map[int]bool{}
+	chip := ""
+	for _, r := range results {
+		coresSeen[r.Core] = true
+		chip = r.Chip
+	}
+	if len(coresSeen) == 0 {
+		return nil, errors.New("predict: no campaign results to train from")
+	}
+	bank := &ModelBank{Chip: chip, ByCore: map[int]*BankEntry{}}
+	for coreID := range coresSeen {
+		d, err := BuildSeverityDataset(results, profiles, coreID, w, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", coreID, err)
+		}
+		res, err := pipe.Run(d)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", coreID, err)
+		}
+		bank.ByCore[coreID] = &BankEntry{
+			Selected:  res.Selected,
+			TrainMean: res.TrainMean,
+			R2:        res.R2,
+			RMSE:      res.RMSE,
+			Model:     res.Model,
+		}
+	}
+	return bank, nil
+}
+
+// PredictSeverity evaluates the bank's model for a core on a counter
+// sample at a voltage.
+func (b *ModelBank) PredictSeverity(coreID int, sample counters.Sample, v units.MilliVolts) (float64, error) {
+	entry, ok := b.ByCore[coreID]
+	if !ok {
+		return 0, fmt.Errorf("predict: no model for core %d", coreID)
+	}
+	return PredictSeverity(CaseResult{Selected: entry.Selected, Model: entry.Model}, sample, v)
+}
+
+// Cores lists the cores the bank covers.
+func (b *ModelBank) Cores() []int {
+	var out []int
+	for c := range b.ByCore {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Save serializes the bank as JSON.
+func (b *ModelBank) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b)
+}
+
+// LoadBank restores a bank written by Save.
+func LoadBank(r io.Reader) (*ModelBank, error) {
+	var b ModelBank
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("predict: corrupt model bank: %w", err)
+	}
+	if len(b.ByCore) == 0 {
+		return nil, errors.New("predict: empty model bank")
+	}
+	for coreID, e := range b.ByCore {
+		if e == nil || e.Model == nil || len(e.Selected) == 0 {
+			return nil, fmt.Errorf("predict: core %d entry incomplete", coreID)
+		}
+		if len(e.Selected) != len(e.Model.Coef) {
+			return nil, fmt.Errorf("predict: core %d selected/coef mismatch", coreID)
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,255 @@
+package predict
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"xvolt/internal/core"
+	"xvolt/internal/counters"
+	"xvolt/internal/regress"
+	"xvolt/internal/silicon"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// characterizeOnce runs the full §3 characterization of the whole 40-input
+// suite on TTT cores 0 and 4, shared across the tests in this package
+// (it is the expensive phase-1 input to every prediction experiment).
+var (
+	charOnce    sync.Once
+	charResults []*core.CampaignResult
+	charErr     error
+)
+
+func characterized(t *testing.T) []*core.CampaignResult {
+	t.Helper()
+	charOnce.Do(func() {
+		fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+		cfg := core.DefaultConfig(workload.PredictionSuite(), []int{0, 4})
+		charResults, charErr = fw.Characterize(cfg)
+	})
+	if charErr != nil {
+		t.Fatal(charErr)
+	}
+	return charResults
+}
+
+func profiles() Profiles {
+	return CollectProfiles(workload.PredictionSuite(), 7)
+}
+
+func TestCollectProfiles(t *testing.T) {
+	p := profiles()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Specs) != 40 {
+		t.Errorf("profiled %d specs, want 40", len(p.Specs))
+	}
+	bad := Profiles{Specs: p.Specs, Samples: p.Samples[:3]}
+	if err := bad.Validate(); err == nil {
+		t.Error("misaligned profiles accepted")
+	}
+	short := Profiles{Specs: p.Specs, Samples: append([]counters.Sample{{1}}, p.Samples[1:]...)}
+	if err := short.Validate(); err == nil {
+		t.Error("short sample accepted")
+	}
+}
+
+func TestBuildVminDataset(t *testing.T) {
+	results := characterized(t)
+	d, err := BuildVminDataset(results, profiles(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 40 {
+		t.Errorf("Vmin dataset has %d samples, want 40 (§4.3.1)", d.Len())
+	}
+	if d.NumFeatures() != counters.NumEvents {
+		t.Errorf("features = %d", d.NumFeatures())
+	}
+	// Targets are on the regulation grid and within the SPEC range.
+	for i, y := range d.Targets {
+		if int(y)%5 != 0 || y < 850 || y > 940 {
+			t.Errorf("sample %d target %v implausible", i, y)
+		}
+	}
+	// Missing core → error.
+	if _, err := BuildVminDataset(results, profiles(), 7); err == nil {
+		t.Error("missing-core dataset accepted")
+	}
+}
+
+// §4.3.1 anchor: the Vmin spread on the sensitive core across the suite is
+// narrow — the paper quotes an unsafe area between 910 mV and 885 mV.
+func TestVminSpreadNarrow(t *testing.T) {
+	d, err := BuildVminDataset(characterized(t), profiles(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range d.Targets {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if spread := hi - lo; spread < 15 || spread > 40 {
+		t.Errorf("core-0 Vmin spread = %v mV [%v, %v], want ≈25 mV", spread, lo, hi)
+	}
+	if lo < 880 || hi > 925 {
+		t.Errorf("core-0 Vmin range [%v, %v], want ≈[885, 915]", lo, hi)
+	}
+}
+
+func TestBuildSeverityDataset(t *testing.T) {
+	results := characterized(t)
+	d, err := BuildSeverityDataset(results, profiles(), 0, core.PaperWeights, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Errorf("severity dataset has %d samples, want capped 100", d.Len())
+	}
+	if d.NumFeatures() != counters.NumEvents+1 {
+		t.Errorf("features = %d, want counters+voltage", d.NumFeatures())
+	}
+	if d.FeatureNames[counters.NumEvents] != VoltageFeatureName {
+		t.Errorf("last feature = %q", d.FeatureNames[counters.NumEvents])
+	}
+	for i, y := range d.Targets {
+		if y <= 0 || y > core.MaxSeverity(core.PaperWeights) {
+			t.Errorf("sample %d severity %v out of range", i, y)
+		}
+	}
+	// Unbounded: more samples than the cap.
+	full, err := BuildSeverityDataset(results, profiles(), 0, core.PaperWeights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= 100 {
+		t.Errorf("uncapped dataset has %d samples", full.Len())
+	}
+}
+
+// §4.3.1 (case 1): Vmin prediction is no better than the naïve mean — R²
+// near zero, RMSE ≈ 5 mV, naïve equally efficient.
+func TestCase1VminPrediction(t *testing.T) {
+	d, err := BuildVminDataset(characterized(t), profiles(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("case 1: R2=%.3f RMSE=%.2f mV naive=%.2f mV selected=%v",
+		res.R2, res.RMSE, res.NaiveRMSE, res.Selected)
+	if res.R2 > 0.5 {
+		t.Errorf("case-1 R2 = %.3f, paper found ≈0", res.R2)
+	}
+	if res.RMSE < 2 || res.RMSE > 10 {
+		t.Errorf("case-1 RMSE = %.2f mV, paper found ≈5 mV", res.RMSE)
+	}
+	if res.RMSE > 1.8*res.NaiveRMSE {
+		t.Errorf("model (%.2f) much worse than naive (%.2f)", res.RMSE, res.NaiveRMSE)
+	}
+}
+
+// §4.3.2 (case 2): severity prediction on the most sensitive core works —
+// R² ≈ 0.92, model RMSE ≈ 2.8 far below the naïve ≈ 6.4.
+func TestCase2SeveritySensitiveCore(t *testing.T) {
+	d, err := BuildSeverityDataset(characterized(t), profiles(), 0, core.PaperWeights, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("case 2: R2=%.3f RMSE=%.2f naive=%.2f selected=%v",
+		res.R2, res.RMSE, res.NaiveRMSE, res.Selected)
+	if res.R2 < 0.75 {
+		t.Errorf("case-2 R2 = %.3f, paper found 0.92", res.R2)
+	}
+	if res.RMSE >= 0.65*res.NaiveRMSE {
+		t.Errorf("case-2 model RMSE %.2f not well below naive %.2f (paper: 2.8 vs 6.4)",
+			res.RMSE, res.NaiveRMSE)
+	}
+	// Voltage must be among the selected features — it carries most of the
+	// severity signal.
+	hasVoltage := false
+	for _, n := range res.Selected {
+		if n == VoltageFeatureName {
+			hasVoltage = true
+		}
+	}
+	if !hasVoltage {
+		t.Errorf("voltage not selected: %v", res.Selected)
+	}
+}
+
+// §4.3.3 (case 3): same on the most robust core (90 samples) — R² ≈ 0.91,
+// RMSE 2.65 vs naïve 6.9.
+func TestCase3SeverityRobustCore(t *testing.T) {
+	d, err := BuildSeverityDataset(characterized(t), profiles(), 4, core.PaperWeights, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("case 3: R2=%.3f RMSE=%.2f naive=%.2f selected=%v",
+		res.R2, res.RMSE, res.NaiveRMSE, res.Selected)
+	if res.R2 < 0.75 {
+		t.Errorf("case-3 R2 = %.3f, paper found 0.91", res.R2)
+	}
+	if res.RMSE >= 0.65*res.NaiveRMSE {
+		t.Errorf("case-3 model RMSE %.2f not well below naive %.2f (paper: 2.65 vs 6.9)",
+			res.RMSE, res.NaiveRMSE)
+	}
+}
+
+func TestPredictSeverityRoundTrip(t *testing.T) {
+	results := characterized(t)
+	p := profiles()
+	d, err := BuildSeverityDataset(results, p, 0, core.PaperWeights, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultPipeline().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicted severity must increase as voltage drops for a fixed
+	// benchmark (the linear model's voltage coefficient is negative).
+	sample := p.Samples[0]
+	hi, err := PredictSeverity(res, sample, 905)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := PredictSeverity(res, sample, 870)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= hi {
+		t.Errorf("predicted severity not increasing downward: %v at 905, %v at 870", hi, lo)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := DefaultPipeline().Run(&regress.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	bad := Pipeline{KeepFeatures: 0, TrainFrac: 0.8, Seed: 1}
+	d := &regress.Dataset{
+		Features: [][]float64{{1, 2}, {2, 3}, {3, 4}, {4, 5}},
+		Targets:  []float64{1, 2, 3, 4},
+	}
+	if _, err := bad.Run(d); err == nil {
+		t.Error("keep=0 accepted")
+	}
+}
+
+var _ = units.MilliVolts(0) // keep the import used if assertions change

@@ -1,0 +1,93 @@
+package regress
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossValidateLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := synthDataset(rng, 120, 3, 1.0)
+	cv, err := CrossValidate(d, 5, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != 5 {
+		t.Fatalf("got %d folds", len(cv.Folds))
+	}
+	if cv.MeanR2 < 0.9 {
+		t.Errorf("mean R2 = %v on strongly linear data", cv.MeanR2)
+	}
+	if cv.MeanRMSE >= cv.MeanNaiveRMSE {
+		t.Errorf("model RMSE %v not below naive %v", cv.MeanRMSE, cv.MeanNaiveRMSE)
+	}
+	if cv.StdR2 < 0 || cv.StdR2 > 0.5 {
+		t.Errorf("StdR2 = %v", cv.StdR2)
+	}
+	// Every sample appears exactly once across test folds.
+	total := 0
+	for _, f := range cv.Folds {
+		total += f.N
+	}
+	if total != d.Len() {
+		t.Errorf("test folds cover %d samples, want %d", total, d.Len())
+	}
+}
+
+func TestCrossValidateWithRFE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := synthDataset(rng, 100, 8, 0.5)
+	cv, err := CrossValidate(d, 4, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.MeanR2 < 0.85 {
+		t.Errorf("RFE-CV mean R2 = %v", cv.MeanR2)
+	}
+}
+
+func TestCrossValidateOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := &Dataset{}
+	for i := 0; i < 80; i++ {
+		d.Features = append(d.Features, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		d.Targets = append(d.Targets, rng.NormFloat64())
+	}
+	cv, err := CrossValidate(d, 5, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.MeanR2 > 0.3 {
+		t.Errorf("mean R2 = %v on pure noise", cv.MeanR2)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := synthDataset(rng, 20, 2, 1)
+	if _, err := CrossValidate(d, 1, 0, rng); !errors.Is(err, ErrBadFolds) {
+		t.Errorf("k=1 err = %v", err)
+	}
+	if _, err := CrossValidate(d, 21, 0, rng); !errors.Is(err, ErrBadFolds) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := CrossValidate(&Dataset{}, 2, 0, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := synthDataset(rand.New(rand.NewSource(5)), 60, 3, 1)
+	a, err := CrossValidate(d, 4, 0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(d, 4, 0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanR2 != b.MeanR2 || a.MeanRMSE != b.MeanRMSE {
+		t.Error("cross-validation not deterministic under a fixed seed")
+	}
+}

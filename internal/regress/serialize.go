@@ -1,0 +1,61 @@
+// Model serialization. A deployed governor (cmd/xvolt-govern) trains
+// per-core severity models offline and needs to ship them to the machines
+// that use them; JSON keeps them inspectable.
+package regress
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// modelJSON is the wire form of a fitted model.
+type modelJSON struct {
+	Intercept    float64   `json:"intercept"`
+	Coef         []float64 `json:"coef"`
+	Means        []float64 `json:"means"`
+	Stds         []float64 `json:"stds"`
+	FeatureNames []string  `json:"feature_names,omitempty"`
+}
+
+// ErrBadModel rejects malformed serialized models.
+var ErrBadModel = errors.New("regress: malformed serialized model")
+
+// MarshalJSON serializes a fitted model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if !m.fitted {
+		return nil, errNotFitted
+	}
+	return json.Marshal(modelJSON{
+		Intercept:    m.Intercept,
+		Coef:         m.Coef,
+		Means:        m.means,
+		Stds:         m.stds,
+		FeatureNames: m.FeatureNames,
+	})
+}
+
+// UnmarshalJSON restores a fitted model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var w modelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Coef) == 0 || len(w.Coef) != len(w.Means) || len(w.Coef) != len(w.Stds) {
+		return ErrBadModel
+	}
+	if w.FeatureNames != nil && len(w.FeatureNames) != len(w.Coef) {
+		return ErrBadModel
+	}
+	for _, s := range w.Stds {
+		if s == 0 {
+			return ErrBadModel
+		}
+	}
+	m.Intercept = w.Intercept
+	m.Coef = w.Coef
+	m.means = w.Means
+	m.stds = w.Stds
+	m.FeatureNames = w.FeatureNames
+	m.fitted = true
+	return nil
+}

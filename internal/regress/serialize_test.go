@@ -1,0 +1,73 @@
+package regress
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := synthDataset(rng, 60, 3, 0.5)
+	d.FeatureNames = []string{"a", "b", "c"}
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	// Restored model predicts identically.
+	for i := 0; i < 10; i++ {
+		row := d.Features[i]
+		a, err := m.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("restored model diverges: %v vs %v", a, b)
+		}
+	}
+	if got.FeatureNames[1] != "b" {
+		t.Errorf("names lost: %v", got.FeatureNames)
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	var m Model
+	if _, err := json.Marshal(&m); err == nil {
+		t.Error("unfitted model serialized")
+	}
+}
+
+func TestUnmarshalBadModels(t *testing.T) {
+	cases := []string{
+		`{"coef": []}`,
+		`{"coef": [1], "means": [], "stds": [1]}`,
+		`{"coef": [1], "means": [0], "stds": [0]}`,
+		`{"coef": [1,2], "means": [0,0], "stds": [1,1], "feature_names": ["x"]}`,
+		`{bad json`,
+	}
+	for _, blob := range cases {
+		var m Model
+		err := json.Unmarshal([]byte(blob), &m)
+		if err == nil {
+			t.Errorf("accepted %q", blob)
+			continue
+		}
+		if blob[0] == '{' && blob != `{bad json` && !errors.Is(err, ErrBadModel) {
+			t.Errorf("%q: err = %v, want ErrBadModel", blob, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package selftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"xvolt/internal/silicon"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+func TestTestsAreRunnableAndDeterministic(t *testing.T) {
+	for _, s := range Tests() {
+		g1 := s.Golden()
+		g2 := s.Run(workload.Nop{})
+		if g1 != g2 || g1 == 0 {
+			t.Errorf("%s: golden %x rerun %x", s.ID(), g1, g2)
+		}
+	}
+}
+
+func TestTestsDetectBitflips(t *testing.T) {
+	for _, s := range Tests() {
+		seen := 0
+		for trial := 0; trial < 10; trial++ {
+			inj := workload.NewBitflip(rand.New(rand.NewSource(int64(trial))), 1)
+			if s.Run(inj) != s.Golden() {
+				seen++
+			}
+		}
+		if seen < 8 {
+			t.Errorf("%s: flips visible in only %d/10 runs", s.ID(), seen)
+		}
+	}
+}
+
+// The §3.4 experiment: the cache test's margins sit far below the ALU/FPU
+// tests', and the ALU/FPU tests fail with SDCs first.
+func TestLocalizeXGene(t *testing.T) {
+	m := xgene.New(silicon.NewChip(silicon.TTT, 1))
+	findings, err := Localize(m, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings", len(findings))
+	}
+	byName := map[string]Finding{}
+	for _, f := range findings {
+		byName[f.Test] = f
+	}
+	cache, alu, fpu := byName["selftest-cache"], byName["selftest-alu"], byName["selftest-fpu"]
+	if cache.Test == "" || alu.Test == "" || fpu.Test == "" {
+		t.Fatalf("missing findings: %+v", findings)
+	}
+	// "the cache tests crash in much lower voltages than the ALU and FPU
+	// tests" — require at least a 40 mV gap.
+	if cache.SafeVmin >= alu.SafeVmin-40 {
+		t.Errorf("cache safe %v not far below ALU %v", cache.SafeVmin, alu.SafeVmin)
+	}
+	if cache.SafeVmin >= fpu.SafeVmin-40 {
+		t.Errorf("cache safe %v not far below FPU %v", cache.SafeVmin, fpu.SafeVmin)
+	}
+	if cache.CrashVmax != 0 && alu.CrashVmax != 0 && cache.CrashVmax >= alu.CrashVmax {
+		t.Errorf("cache crash %v not below ALU crash %v", cache.CrashVmax, alu.CrashVmax)
+	}
+	// "SDCs occur when the pipeline gets stressed (ALU and FPU tests)".
+	if !alu.SDCFirst {
+		t.Error("ALU test did not fail with SDCs first")
+	}
+	if !fpu.SDCFirst {
+		t.Error("FPU test did not fail with SDCs first")
+	}
+	// The cache test exercises the ECC path instead.
+	if cache.SDCFirst {
+		t.Error("cache test produced SDCs first (should be array/ECC limited)")
+	}
+	if !cache.SawCE {
+		t.Error("cache test never produced corrected errors")
+	}
+}
+
+// The self-tests bracket the SPEC suite: ALU at least as high as the most
+// demanding program, cache far below the least demanding one.
+func TestSelfTestsBracketSuite(t *testing.T) {
+	chip := silicon.NewChip(silicon.TTT, 1)
+	tests := Tests()
+	assess := func(s *workload.Spec) silicon.Margins {
+		return chip.Assess(4, s.Profile, s.Idio(), 0)
+	}
+	cacheM := assess(tests[0])
+	aluM := assess(tests[1])
+	bw, _ := workload.Lookup("bwaves/ref")
+	mcf, _ := workload.Lookup("mcf/ref")
+	if aluM.SafeVmin < chip.Assess(4, bw.Profile, bw.Idio(), 0).SafeVmin-5 {
+		t.Errorf("ALU test (%v) below bwaves", aluM.SafeVmin)
+	}
+	if cacheM.SafeVmin >= chip.Assess(4, mcf.Profile, mcf.Idio(), 0).SafeVmin-30 {
+		t.Errorf("cache test (%v) not far below mcf", cacheM.SafeVmin)
+	}
+}

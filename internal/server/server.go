@@ -1,0 +1,204 @@
+// Package server exposes a characterization study over HTTP — the "cloud"
+// sink of the paper's Fig. 2 pipeline, where the framework ships its raw
+// data and parsed results. It serves live board status (voltage, boots,
+// watchdog recoveries, PMpro power), the parsed campaign results as JSON
+// and CSV, and the framework's trace tail.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"xvolt/internal/core"
+	"xvolt/internal/csvutil"
+	"xvolt/internal/units"
+)
+
+// Server publishes one framework's study.
+type Server struct {
+	mu      sync.Mutex
+	fw      *core.Framework
+	results []*core.CampaignResult
+	weights core.Weights
+}
+
+// New wraps a framework (which may still be running campaigns). Results
+// are published with SetResults as they are parsed.
+func New(fw *core.Framework) *Server {
+	return &Server{fw: fw, weights: core.PaperWeights}
+}
+
+// SetResults replaces the published campaign results.
+func (s *Server) SetResults(results []*core.CampaignResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = results
+}
+
+// snapshot returns the current results slice.
+func (s *Server) snapshot() []*core.CampaignResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results
+}
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/results", s.handleResultsJSON)
+	mux.HandleFunc("/api/results.csv", s.handleResultsCSV)
+	mux.HandleFunc("/api/trace", s.handleTrace)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statusDTO is the /api/status payload.
+type statusDTO struct {
+	Chip          string             `json:"chip"`
+	Responsive    bool               `json:"responsive"`
+	BootCount     int                `json:"boot_count"`
+	Recoveries    int                `json:"watchdog_recoveries"`
+	PMDVoltageMV  int                `json:"pmd_voltage_mv"`
+	SoCVoltageMV  int                `json:"soc_voltage_mv"`
+	Frequencies   [4]units.MegaHertz `json:"pmd_frequencies_mhz"`
+	PowerWatts    float64            `json:"power_watts"`
+	TemperatureC  float64            `json:"temperature_c"`
+	CampaignsDone int                `json:"campaigns_done"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	m := s.fw.Machine()
+	dto := statusDTO{
+		Chip:          m.Chip().Name,
+		Responsive:    m.Responsive(),
+		BootCount:     m.BootCount(),
+		Recoveries:    s.fw.Watchdog().Recoveries(),
+		PMDVoltageMV:  int(m.PMDVoltage()),
+		SoCVoltageMV:  int(m.SoCVoltage()),
+		PowerWatts:    m.EstimatePower(),
+		TemperatureC:  float64(m.Temperature()),
+		CampaignsDone: len(s.snapshot()),
+	}
+	for pmd := 0; pmd < 4; pmd++ {
+		dto.Frequencies[pmd] = m.PMDFrequency(pmd)
+	}
+	writeJSON(w, dto)
+}
+
+// stepDTO / campaignDTO are the /api/results payload.
+type stepDTO struct {
+	VoltageMV int     `json:"voltage_mv"`
+	Runs      int     `json:"runs"`
+	SDC       int     `json:"sdc"`
+	CE        int     `json:"ce"`
+	UE        int     `json:"ue"`
+	AC        int     `json:"ac"`
+	SC        int     `json:"sc"`
+	Severity  float64 `json:"severity"`
+	Region    string  `json:"region"`
+}
+
+type campaignDTO struct {
+	Chip         string    `json:"chip"`
+	Benchmark    string    `json:"benchmark"`
+	Input        string    `json:"input"`
+	Core         int       `json:"core"`
+	FrequencyMHz int       `json:"frequency_mhz"`
+	SafeVminMV   int       `json:"safe_vmin_mv,omitempty"`
+	CrashVmaxMV  int       `json:"crash_vmax_mv,omitempty"`
+	Steps        []stepDTO `json:"steps"`
+}
+
+func (s *Server) handleResultsJSON(w http.ResponseWriter, r *http.Request) {
+	var out []campaignDTO
+	for _, c := range s.snapshot() {
+		dto := campaignDTO{
+			Chip: c.Chip, Benchmark: c.Benchmark, Input: c.Input,
+			Core: c.Core, FrequencyMHz: int(c.Frequency),
+		}
+		if v, ok := c.SafeVmin(); ok {
+			dto.SafeVminMV = int(v)
+		}
+		if v, ok := c.CrashVoltage(); ok {
+			dto.CrashVmaxMV = int(v)
+		}
+		for _, st := range c.Steps {
+			dto.Steps = append(dto.Steps, stepDTO{
+				VoltageMV: int(st.Voltage),
+				Runs:      st.Tally.N,
+				SDC:       st.Tally.SDC, CE: st.Tally.CE, UE: st.Tally.UE,
+				AC: st.Tally.AC, SC: st.Tally.SC,
+				Severity: st.Severity(s.weights),
+				Region:   st.Region().String(),
+			})
+		}
+		out = append(out, dto)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleResultsCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if err := csvutil.WriteCampaigns(w, s.snapshot(), s.weights); err != nil {
+		// Headers are already out; nothing more we can do than log-like
+		// trailing output — the client sees a truncated body.
+		fmt.Fprintf(w, "\n# error: %v\n", err)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	log := s.fw.Trace()
+	events := log.Events()
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, e := range events {
+		fmt.Fprintln(w, e)
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html><title>xvolt</title>
+<h1>xvolt characterization study</h1>
+<p>chip %s — %d campaigns published</p>
+<ul>
+<li><a href="/api/status">status</a></li>
+<li><a href="/api/results">results (JSON)</a></li>
+<li><a href="/api/results.csv">results (CSV)</a></li>
+<li><a href="/api/trace?n=50">trace tail</a></li>
+</ul>`, s.fw.Machine().Chip().Name, len(s.snapshot()))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,128 @@
+package silicon
+
+import (
+	"math/rand"
+	"testing"
+
+	"xvolt/internal/units"
+)
+
+func TestECCLevelString(t *testing.T) {
+	if SECDED.String() != "SECDED" || DECTED.String() != "DECTED" {
+		t.Error("ECC level names wrong")
+	}
+}
+
+func TestStockMatchesSampleRun(t *testing.T) {
+	chip := NewChip(TTT, 1)
+	m := chip.Assess(0, specLike, 0, units.RegimeFull)
+	for _, v := range []units.MilliVolts{m.SafeVmin, m.SafeVmin - 15, m.CrashVmax} {
+		a := SampleRun(rand.New(rand.NewSource(42)), m, v, XGene)
+		b := SampleRunProtected(rand.New(rand.NewSource(42)), m, v, XGene, Stock())
+		if a != b {
+			t.Errorf("stock protection diverges at %v: %+v vs %+v", v, a, b)
+		}
+	}
+}
+
+// §6 "stronger error protection": with DECTED, SDC behavior largely turns
+// into corrected errors — the distribution shifts from SDC toward CE.
+func TestDECTEDTransformsSDCs(t *testing.T) {
+	chip := NewChip(TTT, 1)
+	m := chip.Assess(0, specLike, 0, units.RegimeFull)
+	v := m.SafeVmin - 10
+
+	count := func(p Protection, seed int64) (sdc, ce int) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1000; i++ {
+			e := SampleRunProtected(rng, m, v, XGene, p)
+			if e.SDC {
+				sdc++
+			}
+			if e.CE {
+				ce++
+			}
+		}
+		return
+	}
+	sdcStock, ceStock := count(Stock(), 1)
+	sdcStrong, ceStrong := count(Protection{ECC: DECTED}, 1)
+	if sdcStock == 0 {
+		t.Fatal("no SDCs at the probe point — test voltage wrong")
+	}
+	if sdcStrong >= sdcStock/2 {
+		t.Errorf("DECTED SDCs = %d, want well below stock %d", sdcStrong, sdcStock)
+	}
+	if ceStrong <= ceStock {
+		t.Errorf("DECTED CEs = %d, want above stock %d", ceStrong, ceStock)
+	}
+}
+
+// DECTED also rescues most uncorrected errors.
+func TestDECTEDTransformsUEs(t *testing.T) {
+	chip := NewChip(TTT, 1)
+	m := chip.Assess(0, memBound, 0, units.RegimeFull)
+	v := m.CrashVmax - 5 // deep: UEs occur
+
+	count := func(p Protection) (ue int) {
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 2000; i++ {
+			if SampleRunProtected(rng, m, v, XGene, p).UE {
+				ue++
+			}
+		}
+		return
+	}
+	ueStock := count(Stock())
+	ueStrong := count(Protection{ECC: DECTED})
+	if ueStock < 20 {
+		t.Fatalf("too few stock UEs (%d) to compare", ueStock)
+	}
+	if ueStrong >= ueStock/2 {
+		t.Errorf("DECTED UEs = %d, want well below stock %d", ueStrong, ueStock)
+	}
+}
+
+// Adaptive clocking recovers timing margin: at a voltage just below the
+// stock safe point, the adaptive configuration is mostly clean.
+func TestAdaptiveClockingExtendsMargin(t *testing.T) {
+	chip := NewChip(TTT, 1)
+	m := chip.Assess(0, specLike, 0, units.RegimeFull)
+	v := m.SafeVmin - 10 // inside the stock unsafe region
+
+	abnormal := func(p Protection) (n int) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 500; i++ {
+			if !SampleRunProtected(rng, m, v, XGene, p).Clean() {
+				n++
+			}
+		}
+		return
+	}
+	stock := abnormal(Stock())
+	adaptive := abnormal(Protection{AdaptiveClocking: true})
+	if stock < 50 {
+		t.Fatalf("stock config too clean at probe point: %d/500", stock)
+	}
+	if adaptive >= stock/3 {
+		t.Errorf("adaptive clocking abnormal runs = %d, want far below stock %d", adaptive, stock)
+	}
+}
+
+// Deep below even the adaptive margin the system still crashes — the
+// enhancement shifts, not removes, the wall.
+func TestAdaptiveClockingStillCrashesDeep(t *testing.T) {
+	chip := NewChip(TTT, 1)
+	m := chip.Assess(0, specLike, 0, units.RegimeFull)
+	rng := rand.New(rand.NewSource(4))
+	crashes := 0
+	for i := 0; i < 200; i++ {
+		e := SampleRunProtected(rng, m, m.CrashVmax-60, XGene, Protection{AdaptiveClocking: true})
+		if e.SC {
+			crashes++
+		}
+	}
+	if crashes < 150 {
+		t.Errorf("only %d/200 crashes deep below the adaptive margin", crashes)
+	}
+}

@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, "Mean", Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12)
+	approx(t, "Mean empty", Mean(nil), 0, 0)
+	approx(t, "Mean single", Mean([]float64{7}), 7, 0)
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Variance", Variance(xs), 4, 1e-12)
+	approx(t, "StdDev", StdDev(xs), 2, 1e-12)
+	approx(t, "SampleVariance", SampleVariance(xs), 4*8.0/7.0, 1e-12)
+	approx(t, "SampleVariance single", SampleVariance([]float64{3}), 0, 0)
+	approx(t, "Variance empty", Variance(nil), 0, 0)
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 5 {
+		t.Errorf("Max = %v, %v", mx, err)
+	}
+	approx(t, "Sum", Sum(xs), 12, 1e-12)
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	p, err := Percentile(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "P50", p, 35, 1e-12)
+	p, _ = Percentile(xs, 0)
+	approx(t, "P0", p, 15, 1e-12)
+	p, _ = Percentile(xs, 100)
+	approx(t, "P100", p, 50, 1e-12)
+	p, _ = Percentile(xs, 25)
+	approx(t, "P25", p, 20, 1e-12)
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) err = %v", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) should fail")
+	}
+	p, _ = Percentile([]float64{9}, 73)
+	approx(t, "P single", p, 9, 0)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Median", m, 2.5, 1e-12)
+}
+
+func TestRMSE(t *testing.T) {
+	r, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("RMSE exact = %v, %v", r, err)
+	}
+	r, _ = RMSE([]float64{2, 2}, []float64{0, 0})
+	approx(t, "RMSE", r, 2, 1e-12)
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("RMSE mismatch should fail")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Errorf("RMSE(nil) err = %v", err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	m, err := MAE([]float64{1, -1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "MAE", m, 1, 1e-12)
+	if _, err := MAE([]float64{1}, []float64{}); err == nil {
+		t.Error("MAE mismatch should fail")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	target := []float64{1, 2, 3, 4, 5}
+	r, err := RSquared(target, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "R2 perfect", r, 1, 1e-12)
+
+	mean := Mean(target)
+	pred := []float64{mean, mean, mean, mean, mean}
+	r, _ = RSquared(pred, target)
+	approx(t, "R2 naive", r, 0, 1e-12)
+
+	// Anti-correlated predictions are worse than the mean: negative R².
+	r, _ = RSquared([]float64{5, 4, 3, 2, 1}, target)
+	if r >= 0 {
+		t.Errorf("R2 anti = %v, want negative", r)
+	}
+
+	// Zero-variance target.
+	r, _ = RSquared([]float64{1, 1}, []float64{2, 2})
+	approx(t, "R2 const-miss", r, 0, 0)
+	r, _ = RSquared([]float64{2, 2}, []float64{2, 2})
+	approx(t, "R2 const-hit", r, 1, 0)
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	c, err := Correlation(xs, []float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "corr +1", c, 1, 1e-12)
+	c, _ = Correlation(xs, []float64{8, 6, 4, 2})
+	approx(t, "corr -1", c, -1, 1e-12)
+	c, _ = Correlation(xs, []float64{5, 5, 5, 5})
+	approx(t, "corr flat", c, 0, 0)
+	if _, err := Correlation(xs, xs[:2]); err == nil {
+		t.Error("Correlation mismatch should fail")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	z, mean, std := Standardize([]float64{2, 4, 6})
+	approx(t, "mean", mean, 4, 1e-12)
+	if std <= 0 {
+		t.Fatalf("std = %v", std)
+	}
+	approx(t, "z mean", Mean(z), 0, 1e-12)
+	approx(t, "z std", StdDev(z), 1, 1e-12)
+
+	z, _, std = Standardize([]float64{3, 3, 3})
+	if std != 1 {
+		t.Errorf("flat std = %v, want 1", std)
+	}
+	for _, v := range z {
+		approx(t, "flat z", v, 0, 0)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := Histogram([]float64{0.1, 0.2, 0.6, 0.9, -5, 12}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 3 || h[1] != 3 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("nbins=0 should fail")
+	}
+	if _, err := Histogram(nil, 1, 1, 3); err == nil {
+		t.Error("hi<=lo should fail")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	approx(t, "Welford mean", w.Mean(), Mean(xs), 1e-12)
+	approx(t, "Welford var", w.Variance(), Variance(xs), 1e-12)
+	approx(t, "Welford std", w.StdDev(), StdDev(xs), 1e-12)
+
+	var empty Welford
+	approx(t, "Welford empty var", empty.Variance(), 0, 0)
+}
+
+// Property: Welford matches the two-pass formulas on random data.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		if math.Abs(w.Mean()-Mean(xs)) > 1e-9 || math.Abs(w.Variance()-Variance(xs)) > 1e-6 {
+			t.Fatalf("Welford disagrees on %v", xs)
+		}
+	}
+}
+
+// Property: R² of the exact targets is 1; shifting predictions lowers it.
+func TestRSquaredProperty(t *testing.T) {
+	prop := func(a, b, c int8, shift uint8) bool {
+		target := []float64{float64(a), float64(b), float64(c), float64(a) + 1}
+		r, err := RSquared(target, target)
+		if err != nil || r != 1 {
+			return false
+		}
+		pred := append([]float64(nil), target...)
+		for i := range pred {
+			pred[i] += float64(shift) + 1
+		}
+		r2, err := RSquared(pred, target)
+		return err == nil && r2 < 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: standardized data has mean ≈ 0 and std ≈ 1 (or 0 for flat data).
+func TestStandardizeProperty(t *testing.T) {
+	prop := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		z, _, _ := Standardize(xs)
+		if math.Abs(Mean(z)) > 1e-9 {
+			return false
+		}
+		s := StdDev(z)
+		return math.Abs(s-1) < 1e-9 || s < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		prev := mn
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-9 || v < mn-1e-9 || v > mx+1e-9 {
+				t.Fatalf("percentile not monotone/bounded: p=%v v=%v prev=%v", p, v, prev)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace provides the framework's structured event log: a bounded,
+// concurrency-safe record of what a campaign did (voltage steps, runs,
+// crashes, watchdog recoveries). The real framework's log files are what
+// survive a crashed machine (§2.2.1 "Safe Data Collection"); this is their
+// in-process equivalent, and the text dump mirrors the raw logs the
+// parsing phase consumes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// CampaignStart marks the beginning of one (benchmark, core) sweep.
+	CampaignStart Kind = iota
+	// CampaignEnd marks its completion.
+	CampaignEnd
+	// StepStart marks one voltage step.
+	StepStart
+	// RunDone records one finished run and its classification.
+	RunDone
+	// SystemCrash records an unresponsive machine.
+	SystemCrash
+	// Recovery records a watchdog power cycle.
+	Recovery
+	// Note is free-form commentary.
+	Note
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CampaignStart:
+		return "campaign-start"
+	case CampaignEnd:
+		return "campaign-end"
+	case StepStart:
+		return "step"
+	case RunDone:
+		return "run"
+	case SystemCrash:
+		return "crash"
+	case Recovery:
+		return "recovery"
+	case Note:
+		return "note"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one log entry. Seq is a monotonically increasing sequence
+// number (the log's logical clock).
+type Event struct {
+	Seq  uint64
+	Kind Kind
+	Msg  string
+}
+
+// String renders like "000042 run bwaves/ref core4 885mV -> SDC".
+func (e Event) String() string {
+	return fmt.Sprintf("%06d %-14s %s", e.Seq, e.Kind, e.Msg)
+}
+
+// Log is a bounded in-memory event log. The zero value is unusable; use
+// New. A nil *Log is safe: all methods are no-ops.
+type Log struct {
+	mu      sync.Mutex
+	seq     uint64
+	events  []Event
+	max     int
+	dropped uint64
+}
+
+// New returns a log retaining up to max events (default 4096 if max ≤ 0).
+func New(max int) *Log {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Log{max: max}
+}
+
+// Emit appends a formatted event. Safe on a nil log.
+func (l *Log) Emit(kind Kind, format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.events = append(l.events, Event{Seq: l.seq, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	if len(l.events) > l.max {
+		drop := len(l.events) - l.max
+		l.events = l.events[drop:]
+		l.dropped += uint64(drop)
+	}
+}
+
+// Events returns a copy of the retained events in order. Nil-safe.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the retained event count. Nil-safe.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Dropped reports how many events were evicted by the bound. Nil-safe.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// CountKind tallies retained events of one kind. Nil-safe.
+func (l *Log) CountKind(k Kind) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText dumps the retained events, one per line. Nil-safe.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

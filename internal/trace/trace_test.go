@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		CampaignStart: "campaign-start", CampaignEnd: "campaign-end",
+		StepStart: "step", RunDone: "run", SystemCrash: "crash",
+		Recovery: "recovery", Note: "note",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Kind(42).String(), "kind(") {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	l := New(10)
+	l.Emit(Note, "hello %d", 42)
+	l.Emit(RunDone, "run done")
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("sequence numbers wrong: %+v", events)
+	}
+	if events[0].Msg != "hello 42" {
+		t.Errorf("msg = %q", events[0].Msg)
+	}
+	if l.Len() != 2 || l.Dropped() != 0 {
+		t.Errorf("Len/Dropped = %d/%d", l.Len(), l.Dropped())
+	}
+	if got := events[0].String(); !strings.Contains(got, "note") || !strings.Contains(got, "hello 42") {
+		t.Errorf("event string = %q", got)
+	}
+}
+
+func TestBounding(t *testing.T) {
+	l := New(5)
+	for i := 0; i < 12; i++ {
+		l.Emit(Note, "e%d", i)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+	if l.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", l.Dropped())
+	}
+	events := l.Events()
+	if events[0].Msg != "e7" || events[4].Msg != "e11" {
+		t.Errorf("wrong retained window: %+v", events)
+	}
+	// Sequence numbers keep counting across eviction.
+	if events[4].Seq != 12 {
+		t.Errorf("last seq = %d", events[4].Seq)
+	}
+}
+
+func TestDefaultBound(t *testing.T) {
+	l := New(0)
+	if l.max != 4096 {
+		t.Errorf("default max = %d", l.max)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	l := New(0)
+	l.Emit(RunDone, "a")
+	l.Emit(RunDone, "b")
+	l.Emit(SystemCrash, "c")
+	if l.CountKind(RunDone) != 2 || l.CountKind(SystemCrash) != 1 || l.CountKind(Note) != 0 {
+		t.Error("CountKind wrong")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Note, "ignored")
+	if l.Events() != nil || l.Len() != 0 || l.Dropped() != 0 || l.CountKind(Note) != 0 {
+		t.Error("nil log not inert")
+	}
+	if err := l.WriteText(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteText err = %v", err)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := New(0)
+	l.Emit(Note, "first")
+	l.Emit(RunDone, "second")
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Errorf("dump = %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("dump has %d lines", lines)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	l := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit(Note, "x")
+				l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("lost concurrent events: %d", l.Len())
+	}
+}

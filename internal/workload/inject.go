@@ -1,0 +1,81 @@
+// Fault-injection hooks. Kernels thread every intermediate result of their
+// outer loops through an Injector, so that a timing-path failure decided by
+// the silicon model can corrupt real computation state — the framework then
+// detects the SDC the same way the paper does, by comparing program output
+// against the golden output from a nominal-voltage run.
+package workload
+
+import "math/rand"
+
+// Injector possibly corrupts in-flight values. Implementations must be
+// deterministic given their construction inputs.
+type Injector interface {
+	// Word passes a 64-bit integer datum through the fault site.
+	Word(x uint64) uint64
+	// F64 passes a floating-point datum through the fault site.
+	F64(x float64) float64
+}
+
+// Nop is the fault-free injector used for golden runs.
+type Nop struct{}
+
+// Word returns x unchanged.
+func (Nop) Word(x uint64) uint64 { return x }
+
+// F64 returns x unchanged.
+func (Nop) F64(x float64) float64 { return x }
+
+// minHookCalls is the number of injector calls every kernel is guaranteed
+// to make, regardless of its size parameter. Bitflip schedules its flips
+// within this window so that no requested corruption is silently lost.
+const minHookCalls = 64
+
+// Bitflip corrupts a fixed number of values at pseudo-random hook calls.
+// Flips target high mantissa/exponent bits so the corruption propagates to
+// the program output instead of vanishing in rounding — mirroring how
+// timing-path failures latch wrong values into architectural state.
+type Bitflip struct {
+	flipAt map[int]uint // call index → bit position
+	calls  int
+}
+
+// NewBitflip schedules `flips` corruptions using rng. At least one flip is
+// scheduled when flips ≥ 1; zero flips yields a pass-through injector.
+func NewBitflip(rng *rand.Rand, flips int) *Bitflip {
+	b := &Bitflip{flipAt: make(map[int]uint, flips)}
+	for len(b.flipAt) < flips && len(b.flipAt) < minHookCalls {
+		idx := rng.Intn(minHookCalls)
+		if _, dup := b.flipAt[idx]; dup {
+			continue
+		}
+		// Bits 40–62 hit the high mantissa and exponent of a float64 and
+		// the high half of integer checksums: always observable.
+		b.flipAt[idx] = uint(40 + rng.Intn(23))
+	}
+	return b
+}
+
+// Flips reports how many corruptions are scheduled.
+func (b *Bitflip) Flips() int { return len(b.flipAt) }
+
+func (b *Bitflip) step() (uint, bool) {
+	bit, ok := b.flipAt[b.calls]
+	b.calls++
+	return bit, ok
+}
+
+// Word flips a scheduled bit of x, if this call is a fault site.
+func (b *Bitflip) Word(x uint64) uint64 {
+	if bit, ok := b.step(); ok {
+		return x ^ (1 << bit)
+	}
+	return x
+}
+
+// F64 flips a scheduled bit of x's IEEE-754 representation.
+func (b *Bitflip) F64(x float64) float64 {
+	if bit, ok := b.step(); ok {
+		return flipF64Bit(x, bit)
+	}
+	return x
+}

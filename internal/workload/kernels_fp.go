@@ -1,0 +1,454 @@
+// Floating-point kernels. Each function is a miniature, deterministic
+// stand-in for the SPEC CPU2006 program it is named after, exercising a
+// similar computational pattern (stencils, molecular dynamics, lattice
+// field theory, linear programming, FEM, ray tracing, …). The absolute
+// performance of these kernels is irrelevant to the study — what matters is
+// that they compute real values whose corruption is observable, and that
+// their stress profiles differ the way the original programs' do.
+package workload
+
+import "math"
+
+// kBwaves models the blast-wave CFD solver: a 3-D 7-point stencil sweep
+// over a cubic grid with non-linear flux terms.
+func kBwaves(size int, inj Injector) uint64 {
+	n := 8 + size%8
+	g := make([]float64, n*n*n)
+	rng := newXorshift(0xb3a7e5)
+	for i := range g {
+		g[i] = rng.float()
+	}
+	at := func(x, y, z int) float64 {
+		return g[((x+n)%n)*n*n+((y+n)%n)*n+(z+n)%n]
+	}
+	h := uint64(0x1)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		x, y, z := it%n, (it/n)%n, (it/(n*n))%n
+		c := at(x, y, z)
+		flux := 0.125*(at(x+1, y, z)+at(x-1, y, z)+at(x, y+1, z)+
+			at(x, y-1, z)+at(x, y, z+1)+at(x, y, z-1)-6*c) +
+			0.02*c*c/(1+math.Abs(c))
+		v := inj.F64(c + flux)
+		g[x*n*n+y*n+z] = v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kCactusADM models the numerical-relativity stencil: a staggered-grid
+// update with heavier per-point arithmetic (trigonometric source terms).
+func kCactusADM(size int, inj Injector) uint64 {
+	n := 10 + size%6
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	rng := newXorshift(0xcac705)
+	for i := range a {
+		a[i] = rng.float() * 2
+		b[i] = rng.float()
+	}
+	h := uint64(0x2)
+	iters := 64 + size/3
+	for it := 0; it < iters; it++ {
+		i := (it*7 + 3) % (n * n)
+		x, y := i/n, i%n
+		lap := a[((x+1)%n)*n+y] + a[((x+n-1)%n)*n+y] +
+			a[x*n+(y+1)%n] + a[x*n+(y+n-1)%n] - 4*a[i]
+		src := math.Sin(b[i]) * math.Cos(a[i]*0.5)
+		v := inj.F64(a[i] + 0.1*lap + 0.01*src)
+		a[i] = v
+		b[i] += 0.001 * v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kDealII models the finite-element library: assembly of small element
+// stiffness matrices followed by Jacobi smoothing of the global system.
+func kDealII(size int, inj Injector) uint64 {
+	const dim = 4
+	n := 12 + size%8
+	diag := make([]float64, n)
+	off := make([]float64, n)
+	rhs := make([]float64, n)
+	rng := newXorshift(0xdea111)
+	for e := 0; e < n; e++ {
+		// Assemble a dim×dim element matrix and lump it.
+		var k [dim][dim]float64
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				k[i][j] = rng.float() - 0.5
+			}
+		}
+		for i := 0; i < dim; i++ {
+			diag[e] += math.Abs(k[i][i]) + 1
+			for j := 0; j < dim; j++ {
+				if i != j {
+					off[e] += k[i][j] * 0.1
+				}
+			}
+		}
+		rhs[e] = rng.float()
+	}
+	x := make([]float64, n)
+	h := uint64(0x3)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		i := it % n
+		neigh := x[(i+1)%n] + x[(i+n-1)%n]
+		v := inj.F64((rhs[i] - off[i]*neigh) / diag[i])
+		x[i] = 0.5*x[i] + 0.5*v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kGromacs models molecular dynamics with bonded interactions: short
+// Lennard-Jones sweeps over a fixed neighbor list.
+func kGromacs(size int, inj Injector) uint64 {
+	n := 16 + size%16
+	px := make([]float64, n)
+	py := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	rng := newXorshift(0x960ac5)
+	for i := 0; i < n; i++ {
+		px[i] = rng.float() * 10
+		py[i] = rng.float() * 10
+	}
+	h := uint64(0x4)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		i := it % n
+		j := (i + 1 + it%3) % n
+		dx, dy := px[j]-px[i], py[j]-py[i]
+		r2 := dx*dx + dy*dy + 0.01
+		inv6 := 1 / (r2 * r2 * r2)
+		f := (12*inv6*inv6 - 6*inv6) / r2
+		fx := inj.F64(f * dx)
+		fy := f * dy
+		vx[i] += 0.001 * fx
+		vy[i] += 0.001 * fy
+		px[i] += vx[i] * 0.001
+		py[i] += vy[i] * 0.001
+		h = foldF64(h, fx)
+	}
+	return h
+}
+
+// kLeslie3d models the turbulence CFD code: upwind-differenced advection
+// on a 3-D slab with an energy accumulator.
+func kLeslie3d(size int, inj Injector) uint64 {
+	n := 9 + size%7
+	u := make([]float64, n*n)
+	rng := newXorshift(0x1e511e)
+	for i := range u {
+		u[i] = rng.float()*2 - 1
+	}
+	h := uint64(0x5)
+	energy := 0.0
+	iters := 64 + size/3
+	for it := 0; it < iters; it++ {
+		i := (it*5 + 1) % (n * n)
+		x, y := i/n, i%n
+		up := u[((x+n-1)%n)*n+y]
+		dn := u[((x+1)%n)*n+y]
+		flux := up
+		if u[i] < 0 {
+			flux = dn
+		}
+		v := inj.F64(u[i] - 0.2*(u[i]-flux) + 0.05*u[x*n+(y+1)%n])
+		u[i] = v
+		energy += v * v
+		h = foldF64(h, v)
+	}
+	return foldF64(h, energy)
+}
+
+// kMilc models lattice QCD: products of small complex 3×3 (SU(3)-like)
+// matrices along lattice links.
+func kMilc(size int, inj Injector) uint64 {
+	type c128 struct{ re, im float64 }
+	mul := func(a, b [3][3]c128) [3][3]c128 {
+		var out [3][3]c128
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				var re, im float64
+				for k := 0; k < 3; k++ {
+					re += a[i][k].re*b[k][j].re - a[i][k].im*b[k][j].im
+					im += a[i][k].re*b[k][j].im + a[i][k].im*b[k][j].re
+				}
+				out[i][j] = c128{re * 0.5, im * 0.5}
+			}
+		}
+		return out
+	}
+	rng := newXorshift(0x313c)
+	var links [8][3][3]c128
+	for l := range links {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				links[l][i][j] = c128{rng.float() - 0.5, rng.float() - 0.5}
+			}
+		}
+	}
+	acc := links[0]
+	h := uint64(0x6)
+	iters := 64 + size/6
+	for it := 0; it < iters; it++ {
+		acc = mul(acc, links[it%8])
+		tr := inj.F64(acc[0][0].re + acc[1][1].re + acc[2][2].re)
+		acc[0][0].re = tr * 0.9
+		h = foldF64(h, tr)
+	}
+	return h
+}
+
+// kNamd models the NAMD molecular-dynamics force loop: pairwise
+// electrostatics with a switching function, no neighbor rebuilds.
+func kNamd(size int, inj Injector) uint64 {
+	n := 20 + size%12
+	q := make([]float64, n)
+	p := make([]float64, n)
+	rng := newXorshift(0x4a3d)
+	for i := 0; i < n; i++ {
+		q[i] = rng.float() - 0.5
+		p[i] = rng.float() * 5
+	}
+	h := uint64(0x7)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		i, j := it%n, (it*3+1)%n
+		if i == j {
+			j = (j + 1) % n
+		}
+		r := math.Abs(p[i]-p[j]) + 0.05
+		sw := 1 / (1 + r*r)
+		e := inj.F64(q[i] * q[j] / r * sw)
+		p[i] += e * 0.01
+		h = foldF64(h, e)
+	}
+	return h
+}
+
+// kSoplex models the LP solver: revised-simplex-style pivoting on a dense
+// tableau, mixing comparisons, ratio tests and row updates.
+func kSoplex(size int, inj Injector) uint64 {
+	rows, cols := 8, 10
+	t := make([]float64, rows*cols)
+	rng := newXorshift(0x50b1e)
+	for i := range t {
+		t[i] = rng.float()*4 - 2
+	}
+	h := uint64(0x8)
+	iters := 64 + size/5
+	for it := 0; it < iters; it++ {
+		// Pick entering column by most-negative reduced cost (row 0).
+		col := 0
+		for j := 1; j < cols; j++ {
+			if t[j] < t[col] {
+				col = j
+			}
+		}
+		// Ratio test over the column.
+		row, best := 1, math.Inf(1)
+		for i := 1; i < rows; i++ {
+			d := t[i*cols+col]
+			if d > 1e-9 {
+				if r := t[i*cols] / d; r < best {
+					best, row = r, i
+				}
+			}
+		}
+		pivot := t[row*cols+col]
+		if math.Abs(pivot) < 1e-9 {
+			pivot = 1e-9
+		}
+		v := inj.F64(1 / pivot)
+		for j := 0; j < cols; j++ {
+			t[row*cols+j] *= v
+		}
+		t[row*cols+col] = v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kZeusmp models the astrophysical MHD code: alternating hydro and
+// magnetic-field sub-steps on a 2-D grid.
+func kZeusmp(size int, inj Injector) uint64 {
+	n := 10 + size%6
+	d := make([]float64, n*n) // density
+	bf := make([]float64, n*n)
+	rng := newXorshift(0x2e05)
+	for i := range d {
+		d[i] = 1 + rng.float()
+		bf[i] = rng.float() * 0.1
+	}
+	h := uint64(0x9)
+	iters := 64 + size/3
+	for it := 0; it < iters; it++ {
+		i := (it*11 + 5) % (n * n)
+		x, y := i/n, i%n
+		right := d[x*n+(y+1)%n]
+		if it%2 == 0 { // hydro sub-step
+			v := inj.F64(d[i] + 0.1*(right-d[i]) - 0.05*bf[i]*bf[i])
+			d[i] = math.Max(v, 0.01)
+			h = foldF64(h, v)
+		} else { // magnetic sub-step
+			v := inj.F64(bf[i] + 0.02*(d[((x+1)%n)*n+y]-d[i]))
+			bf[i] = v
+			h = foldF64(h, v)
+		}
+	}
+	return h
+}
+
+// kGamess models the quantum-chemistry package: two-electron-integral-like
+// quadruple loops over a small basis with exponential screening.
+func kGamess(size int, inj Injector) uint64 {
+	nb := 6
+	expo := make([]float64, nb)
+	rng := newXorshift(0x6a3e55)
+	for i := range expo {
+		expo[i] = 0.5 + rng.float()*2
+	}
+	h := uint64(0xa)
+	iters := 64 + size/5
+	for it := 0; it < iters; it++ {
+		i, j := it%nb, (it/nb)%nb
+		k, l := (it/2)%nb, (it/3)%nb
+		p := expo[i] + expo[j]
+		q := expo[k] + expo[l]
+		v := inj.F64(math.Exp(-p*q/(p+q)) / math.Sqrt(p+q))
+		expo[i] = 0.999*expo[i] + 0.001*v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kPovray models the ray tracer: ray-sphere intersection batches with
+// shading arithmetic on the hits.
+func kPovray(size int, inj Injector) uint64 {
+	type sphere struct{ cx, cy, cz, r float64 }
+	rng := newXorshift(0x90f7a4)
+	spheres := make([]sphere, 8)
+	for i := range spheres {
+		spheres[i] = sphere{rng.float()*4 - 2, rng.float()*4 - 2, 2 + rng.float()*4, 0.3 + rng.float()}
+	}
+	h := uint64(0xb)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		// Ray through a pseudo-pixel, direction normalized-ish.
+		dx := float64(it%17)/17 - 0.5
+		dy := float64(it%13)/13 - 0.5
+		dz := 1.0
+		closest := math.Inf(1)
+		for _, s := range spheres {
+			// Quadratic for intersection along the ray from origin.
+			b := dx*s.cx + dy*s.cy + dz*s.cz
+			c := s.cx*s.cx + s.cy*s.cy + s.cz*s.cz - s.r*s.r
+			disc := b*b - c
+			if disc > 0 {
+				if tHit := b - math.Sqrt(disc); tHit > 0 && tHit < closest {
+					closest = tHit
+				}
+			}
+		}
+		shade := 0.0
+		if !math.IsInf(closest, 1) {
+			shade = 1 / (1 + closest*closest)
+		}
+		v := inj.F64(shade)
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kCalculix models the structural FEM solver: skyline-stored triangular
+// solves alternated with element stress recovery.
+func kCalculix(size int, inj Injector) uint64 {
+	n := 12 + size%6
+	lower := make([]float64, n*n)
+	rng := newXorshift(0xca1c)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			lower[i*n+j] = rng.float() * 0.5
+		}
+		lower[i*n+i] += 1.5
+	}
+	x := make([]float64, n)
+	h := uint64(0xc)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		// One forward-substitution row per iteration, cyclically.
+		i := it % n
+		s := 1 + float64(it%5)*0.1
+		for j := 0; j < i; j++ {
+			s -= lower[i*n+j] * x[j]
+		}
+		v := inj.F64(s / lower[i*n+i])
+		x[i] = v
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kGemsFDTD models the finite-difference time-domain electromagnetic
+// solver: leapfrogged E and H field updates on a 2-D grid.
+func kGemsFDTD(size int, inj Injector) uint64 {
+	n := 10 + size%6
+	ez := make([]float64, n*n)
+	hx := make([]float64, n*n)
+	hy := make([]float64, n*n)
+	rng := newXorshift(0x6e27)
+	for i := range ez {
+		ez[i] = rng.float() - 0.5
+	}
+	h := uint64(0xd)
+	iters := 64 + size/3
+	for it := 0; it < iters; it++ {
+		i := (it*3 + 2) % (n * n)
+		x, y := i/n, i%n
+		curlH := hy[x*n+(y+1)%n] - hy[i] - (hx[((x+1)%n)*n+y] - hx[i])
+		v := inj.F64(ez[i] + 0.5*curlH)
+		ez[i] = v
+		hx[i] -= 0.5 * (ez[x*n+(y+1)%n] - v)
+		hy[i] += 0.5 * (ez[((x+1)%n)*n+y] - v)
+		h = foldF64(h, v)
+	}
+	return h
+}
+
+// kLbm models the lattice-Boltzmann fluid solver: collide-and-stream
+// updates of a D2Q5 distribution with a relaxation parameter.
+func kLbm(size int, inj Injector) uint64 {
+	n := 10 + size%6
+	const q = 5
+	f := make([]float64, n*n*q)
+	rng := newXorshift(0x1b30)
+	for i := range f {
+		f[i] = 0.2 + 0.01*(rng.float()-0.5)
+	}
+	h := uint64(0xe)
+	const omega = 1.7
+	iters := 64 + size/3
+	for it := 0; it < iters; it++ {
+		cell := (it*7 + 1) % (n * n)
+		base := cell * q
+		rho := 0.0
+		for d := 0; d < q; d++ {
+			rho += f[base+d]
+		}
+		eq := rho / q
+		v := 0.0
+		for d := 0; d < q; d++ {
+			f[base+d] += omega * (eq - f[base+d])
+			v += f[base+d] * float64(d+1)
+		}
+		v = inj.F64(v)
+		f[base] = v / 15
+		h = foldF64(h, v)
+	}
+	return h
+}

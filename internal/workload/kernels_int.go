@@ -1,0 +1,477 @@
+// Integer kernels for the prediction suite (§4 uses 26 SPEC CPU2006
+// programs). Like the floating-point kernels, each is a deterministic
+// miniature of the pattern its namesake exercises: pointer chasing,
+// compression, dynamic programming, game-tree search, event simulation…
+package workload
+
+import "math/bits"
+
+// kMcf models the min-cost-flow solver: Bellman-Ford-style relaxations
+// over a sparse network — pointer-chasing and branch-heavy, low IPC.
+func kMcf(size int, inj Injector) uint64 {
+	n := 32 + size%32
+	const deg = 4
+	// Deterministic sparse graph.
+	rng := newXorshift(0x3cf)
+	head := make([]int, n*deg)
+	cost := make([]uint64, n*deg)
+	for i := range head {
+		head[i] = rng.intn(n)
+		cost[i] = uint64(rng.intn(100) + 1)
+	}
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = 1 << 40
+	}
+	dist[0] = 0
+	h := uint64(0x10)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		u := it % n
+		for e := 0; e < deg; e++ {
+			v := head[u*deg+e]
+			nd := dist[u] + cost[u*deg+e]
+			if nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+		w := inj.Word(dist[u])
+		dist[u] = w
+		h = fold(h, w)
+	}
+	return h
+}
+
+// kPerlbench models the interpreter: tokenizing and hashing synthetic
+// "script" text with state-machine dispatch.
+func kPerlbench(size int, inj Injector) uint64 {
+	rng := newXorshift(0x9e71)
+	text := make([]byte, 256)
+	for i := range text {
+		text[i] = byte('a' + rng.intn(26))
+		if rng.intn(7) == 0 {
+			text[i] = ' '
+		}
+	}
+	h := uint64(0x11)
+	state := uint64(5381)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		switch c := text[it%len(text)]; {
+		case c == ' ':
+			h = fold(h, state)
+			state = 5381
+		case c < 'm':
+			state = inj.Word(state*33 + uint64(c))
+		default:
+			state = inj.Word(bits.RotateLeft64(state, 5) ^ uint64(c))
+		}
+	}
+	return fold(h, state)
+}
+
+// kBzip2 models the compressor: run-length encoding plus a move-to-front
+// transform over a synthetic buffer.
+func kBzip2(size int, inj Injector) uint64 {
+	rng := newXorshift(0xb21b)
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = byte(rng.intn(16)) // low entropy: runs exist
+	}
+	var mtf [16]byte
+	for i := range mtf {
+		mtf[i] = byte(i)
+	}
+	h := uint64(0x12)
+	run := uint64(0)
+	prev := byte(255)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		c := buf[it%len(buf)]
+		if c == prev {
+			run++
+			continue
+		}
+		// Move-to-front index of c.
+		idx := 0
+		for j, v := range mtf {
+			if v == c {
+				idx = j
+				break
+			}
+		}
+		copy(mtf[1:idx+1], mtf[:idx])
+		mtf[0] = c
+		sym := inj.Word(run<<8 | uint64(idx))
+		h = fold(h, sym)
+		run, prev = 0, c
+	}
+	return h
+}
+
+// kGcc models the compiler: constant-folding and dead-code passes over a
+// synthetic three-address IR.
+func kGcc(size int, inj Injector) uint64 {
+	type insn struct {
+		op      int // 0 add, 1 mul, 2 mov, 3 cmp
+		a, b, d int
+	}
+	rng := newXorshift(0x6cc)
+	prog := make([]insn, 96)
+	for i := range prog {
+		prog[i] = insn{rng.intn(4), rng.intn(16), rng.intn(16), rng.intn(16)}
+	}
+	regs := make([]uint64, 16)
+	for i := range regs {
+		regs[i] = uint64(i * 3)
+	}
+	h := uint64(0x13)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		in := prog[it%len(prog)]
+		var v uint64
+		switch in.op {
+		case 0:
+			v = regs[in.a] + regs[in.b]
+		case 1:
+			v = regs[in.a] * (regs[in.b] | 1)
+		case 2:
+			v = regs[in.a]
+		default:
+			if regs[in.a] > regs[in.b] {
+				v = 1
+			}
+		}
+		v = inj.Word(v)
+		regs[in.d] = v
+		h = fold(h, v)
+	}
+	return h
+}
+
+// kGobmk models the Go engine: liberty counting and pattern hashing on a
+// small board with captures.
+func kGobmk(size int, inj Injector) uint64 {
+	const bd = 9
+	var board [bd * bd]int8
+	rng := newXorshift(0x60b)
+	h := uint64(0x14)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		pos := rng.intn(bd * bd)
+		color := int8(1 + it%2)
+		board[pos] = color
+		// Count pseudo-liberties of the placed stone.
+		libs := uint64(0)
+		x, y := pos/bd, pos%bd
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx >= 0 && nx < bd && ny >= 0 && ny < bd {
+				if board[nx*bd+ny] == 0 {
+					libs++
+				} else if board[nx*bd+ny] != color {
+					libs += 2 // contact bonus in the eval hash
+				}
+			}
+		}
+		v := inj.Word(uint64(pos)<<8 | libs)
+		h = fold(h, v)
+		if libs == 0 {
+			board[pos] = 0 // suicide: undo
+		}
+	}
+	return h
+}
+
+// kHmmer models the profile-HMM search: Viterbi dynamic programming bands
+// over integer scores — high IPC, regular access.
+func kHmmer(size int, inj Injector) uint64 {
+	const states = 24
+	rng := newXorshift(0x4371)
+	emit := make([]int64, states*4)
+	for i := range emit {
+		emit[i] = int64(rng.intn(32) - 8)
+	}
+	cur := make([]int64, states)
+	next := make([]int64, states)
+	h := uint64(0x15)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		sym := (it * 2654435761) % 4
+		for s := 1; s < states; s++ {
+			m := cur[s-1] + 3
+			if d := cur[s] - 1; d > m {
+				m = d
+			}
+			next[s] = m + emit[s*4+sym]
+		}
+		cur, next = next, cur
+		v := inj.Word(uint64(cur[states-1]))
+		cur[states-1] = int64(v)
+		h = fold(h, v)
+	}
+	return h
+}
+
+// kSjeng models the chess engine: fixed-depth negamax over a synthetic
+// move tree with alpha-beta-style cutoffs.
+func kSjeng(size int, inj Injector) uint64 {
+	rng := newXorshift(0x57e6)
+	scores := make([]int64, 1024)
+	for i := range scores {
+		scores[i] = int64(rng.intn(200) - 100)
+	}
+	var negamax func(node, depth int, alpha, beta int64) int64
+	negamax = func(node, depth int, alpha, beta int64) int64 {
+		if depth == 0 {
+			return scores[node%len(scores)]
+		}
+		best := int64(-1 << 30)
+		for m := 0; m < 3; m++ {
+			v := -negamax(node*3+m+1, depth-1, -beta, -alpha)
+			if v > best {
+				best = v
+			}
+			if v > alpha {
+				alpha = v
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+		return best
+	}
+	h := uint64(0x16)
+	iters := 64 + size/8
+	for it := 0; it < iters; it++ {
+		v := inj.Word(uint64(negamax(it, 3, -1<<30, 1<<30)))
+		h = fold(h, v)
+	}
+	return h
+}
+
+// kLibquantum models the quantum simulator: gate applications over a
+// 12-qubit state vector's basis indices (bit manipulation heavy).
+func kLibquantum(size int, inj Injector) uint64 {
+	const qubits = 12
+	const dim = 1 << qubits
+	amp := make([]int64, dim/16) // sparse sampled amplitudes
+	for i := range amp {
+		amp[i] = int64(i*7 + 1)
+	}
+	h := uint64(0x17)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		target := uint(it % qubits)
+		control := uint((it + 5) % qubits)
+		idx := (it * 2654435761) % len(amp)
+		basis := uint64(idx)
+		if basis&(1<<control) != 0 {
+			basis ^= 1 << target // CNOT on the basis label
+		}
+		v := inj.Word(basis*uint64(amp[idx]) + uint64(it))
+		amp[idx] = int64(v % (1 << 20))
+		h = fold(h, v)
+	}
+	return h
+}
+
+// kH264ref models the video encoder: sum-of-absolute-differences motion
+// search over synthetic macroblocks.
+func kH264ref(size int, inj Injector) uint64 {
+	const mb = 8
+	rng := newXorshift(0x264)
+	ref := make([]uint8, 64*64)
+	curFrame := make([]uint8, 64*64)
+	for i := range ref {
+		ref[i] = uint8(rng.intn(256))
+		curFrame[i] = uint8(int(ref[i]) + rng.intn(9) - 4)
+	}
+	h := uint64(0x18)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		bx := (it * 3) % (64 - mb)
+		by := (it * 5) % (64 - mb)
+		bestSAD := uint64(1 << 30)
+		for _, off := range [5][2]int{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			rx, ry := bx+off[0], by+off[1]
+			if rx < 0 || ry < 0 || rx >= 64-mb || ry >= 64-mb {
+				continue
+			}
+			sad := uint64(0)
+			for y := 0; y < mb; y++ {
+				for x := 0; x < mb; x++ {
+					a := int(curFrame[(by+y)*64+bx+x])
+					b := int(ref[(ry+y)*64+rx+x])
+					if a > b {
+						sad += uint64(a - b)
+					} else {
+						sad += uint64(b - a)
+					}
+				}
+			}
+			if sad < bestSAD {
+				bestSAD = sad
+			}
+		}
+		v := inj.Word(bestSAD)
+		h = fold(h, v)
+	}
+	return h
+}
+
+// kOmnetpp models the discrete-event simulator: a binary-heap event queue
+// with dependent event insertion — pointer/memory heavy.
+func kOmnetpp(size int, inj Injector) uint64 {
+	type event struct {
+		time uint64
+		kind int
+	}
+	heap := make([]event, 0, 256)
+	push := func(e event) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].time <= heap[i].time {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() event {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heap[l].time < heap[small].time {
+				small = l
+			}
+			if r < last && heap[r].time < heap[small].time {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	rng := newXorshift(0x03e7)
+	for i := 0; i < 32; i++ {
+		push(event{uint64(rng.intn(1000)), rng.intn(4)})
+	}
+	h := uint64(0x19)
+	iters := 64 + size/2
+	for it := 0; it < iters; it++ {
+		e := pop()
+		v := inj.Word(e.time<<3 | uint64(e.kind))
+		h = fold(h, v)
+		// Each event schedules 1–2 follow-ups.
+		push(event{e.time + uint64(rng.intn(50)+1), (e.kind + 1) % 4})
+		if e.kind == 0 {
+			push(event{e.time + uint64(rng.intn(20)+1), 2})
+		}
+		if len(heap) > 200 {
+			heap = heap[:100]
+		}
+	}
+	return h
+}
+
+// kAstar models the path-finder: A* over a weighted grid with a Manhattan
+// heuristic, rebuilt for several start/goal pairs.
+func kAstar(size int, inj Injector) uint64 {
+	const n = 16
+	rng := newXorshift(0xa57a)
+	weight := make([]uint64, n*n)
+	for i := range weight {
+		weight[i] = uint64(rng.intn(9) + 1)
+	}
+	h := uint64(0x1a)
+	iters := 64 + size/8
+	for it := 0; it < iters; it++ {
+		start := (it * 7) % (n * n)
+		goal := (it*13 + n) % (n * n)
+		gx, gy := goal/n, goal%n
+		dist := make([]uint64, n*n)
+		for i := range dist {
+			dist[i] = 1 << 40
+		}
+		dist[start] = 0
+		// Greedy best-first expansion, bounded steps.
+		curNode := start
+		for step := 0; step < 40 && curNode != goal; step++ {
+			x, y := curNode/n, curNode%n
+			bestScore := uint64(1 << 62)
+			bestNext := curNode
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= n || ny >= n {
+					continue
+				}
+				nn := nx*n + ny
+				g := dist[curNode] + weight[nn]
+				if g < dist[nn] {
+					dist[nn] = g
+				}
+				manh := uint64(abs(nx-gx) + abs(ny-gy))
+				if score := g + 2*manh; score < bestScore {
+					bestScore, bestNext = score, nn
+				}
+			}
+			curNode = bestNext
+		}
+		v := inj.Word(dist[curNode] + uint64(curNode))
+		h = fold(h, v)
+	}
+	return h
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// kXalancbmk models the XSLT processor: tree walking and string
+// transformation over a synthetic DOM.
+func kXalancbmk(size int, inj Injector) uint64 {
+	type node struct {
+		tag      int
+		children []int
+	}
+	rng := newXorshift(0xa1a)
+	nodes := make([]node, 128)
+	for i := 1; i < len(nodes); i++ {
+		parent := rng.intn(i)
+		nodes[parent].children = append(nodes[parent].children, i)
+		nodes[i].tag = rng.intn(12)
+	}
+	h := uint64(0x1b)
+	iters := 64 + size/4
+	for it := 0; it < iters; it++ {
+		// Template "match": walk from a pseudo-random node to the leaves,
+		// hashing tags with transformation rules.
+		cur := it % len(nodes)
+		acc := uint64(0xcbf29ce484222325)
+		for depth := 0; depth < 12; depth++ {
+			nd := nodes[cur]
+			acc = (acc ^ uint64(nd.tag)) * 0x100000001b3
+			if len(nd.children) == 0 {
+				break
+			}
+			cur = nd.children[(it+depth)%len(nd.children)]
+		}
+		v := inj.Word(acc)
+		h = fold(h, v)
+	}
+	return h
+}

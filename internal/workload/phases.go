@@ -1,0 +1,108 @@
+// Phased workloads. Real programs move through execution phases with
+// different microarchitectural behavior (memory-bound setup, compute-bound
+// solve, …); a voltage governor that reacts per phase instead of per
+// program harvests the margin of each phase separately. This file models
+// multi-phase programs; the per-phase governing experiment lives in
+// internal/experiments.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"xvolt/internal/silicon"
+)
+
+// Phase is one temporal section of a phased program.
+type Phase struct {
+	// Spec describes the phase's behavior (profile, kernel, stress).
+	Spec *Spec
+	// Weight is the fraction of runtime spent in the phase.
+	Weight float64
+}
+
+// Phased is a program that moves through phases in order.
+type Phased struct {
+	Name   string
+	Phases []Phase
+}
+
+// NewPhased builds a phased program. Weights must be positive and sum to
+// 1 within 1e-6.
+func NewPhased(name string, phases []Phase) (*Phased, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("workload: phased program needs phases")
+	}
+	sum := 0.0
+	for i, ph := range phases {
+		if ph.Spec == nil {
+			return nil, fmt.Errorf("workload: phase %d has no spec", i)
+		}
+		if ph.Weight <= 0 {
+			return nil, fmt.Errorf("workload: phase %d weight %v", i, ph.Weight)
+		}
+		sum += ph.Weight
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("workload: phase weights sum to %v, want 1", sum)
+	}
+	return &Phased{Name: name, Phases: phases}, nil
+}
+
+// Run executes every phase in order under one injector and folds the
+// phase outputs into a single checksum.
+func (p *Phased) Run(inj Injector) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, ph := range p.Phases {
+		h = fold(h, ph.Spec.Run(inj))
+	}
+	return h
+}
+
+// Golden returns the fault-free checksum.
+func (p *Phased) Golden() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, ph := range p.Phases {
+		h = fold(h, ph.Spec.Golden())
+	}
+	return h
+}
+
+// BlendedProfile is the runtime-weighted average stress signature — what a
+// whole-program profiler (and therefore a whole-program governor) sees.
+func (p *Phased) BlendedProfile() silicon.StressProfile {
+	var out silicon.StressProfile
+	for _, ph := range p.Phases {
+		w := ph.Weight
+		out.Pipeline += w * ph.Spec.Profile.Pipeline
+		out.FPU += w * ph.Spec.Profile.FPU
+		out.Memory += w * ph.Spec.Profile.Memory
+		out.Branch += w * ph.Spec.Profile.Branch
+		out.ILP += w * ph.Spec.Profile.ILP
+	}
+	return out
+}
+
+// BlendedScore is the runtime-weighted total stress score. Note the safe
+// voltage of the *whole program* is set by its worst phase, not by this
+// average — the gap between the two is what per-phase governing harvests.
+func (p *Phased) BlendedScore() float64 {
+	s := 0.0
+	for _, ph := range p.Phases {
+		s += ph.Weight * ph.Spec.Score
+	}
+	return s
+}
+
+// WorstPhase returns the phase with the highest stress score (the one
+// that pins the whole-program voltage).
+func (p *Phased) WorstPhase() Phase {
+	worst := p.Phases[0]
+	for _, ph := range p.Phases[1:] {
+		if ph.Spec.Score > worst.Spec.Score {
+			worst = ph
+		}
+	}
+	return worst
+}

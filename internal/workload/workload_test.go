@@ -1,0 +1,321 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteCounts(t *testing.T) {
+	if got := len(All()); got != 40 {
+		t.Errorf("suite has %d (program, input) samples, want 40 (paper §4.3.1)", got)
+	}
+	if got := NumPrograms(); got != 26 {
+		t.Errorf("suite has %d programs, want 26 (paper §4.1)", got)
+	}
+	if got := len(PrimarySuite()); got != 10 {
+		t.Errorf("primary suite has %d programs, want 10 (Fig. 3)", got)
+	}
+}
+
+func TestPrimarySuiteOrder(t *testing.T) {
+	want := []string{"bwaves", "cactusADM", "dealII", "gromacs", "leslie3d",
+		"mcf", "milc", "namd", "soplex", "zeusmp"}
+	for i, s := range PrimarySuite() {
+		if s.Name != want[i] {
+			t.Errorf("primary[%d] = %s, want %s", i, s.Name, want[i])
+		}
+		if s.Input != "ref" {
+			t.Errorf("primary %s input = %s, want ref", s.Name, s.Input)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("bwaves/ref")
+	if err != nil || s.Name != "bwaves" {
+		t.Errorf("Lookup = %v, %v", s, err)
+	}
+	if _, err := Lookup("nosuch/ref"); err == nil {
+		t.Error("Lookup unknown should fail")
+	}
+	s, err = LookupName("mcf")
+	if err != nil || s.Input != "ref" {
+		t.Errorf("LookupName(mcf) = %v, %v", s, err)
+	}
+	if _, err := LookupName("quake"); err == nil {
+		t.Error("LookupName unknown should fail")
+	}
+}
+
+func TestSpecID(t *testing.T) {
+	s, _ := Lookup("milc/su3imp")
+	if s == nil || s.ID() != "milc/su3imp" {
+		t.Fatalf("ID lookup broken: %v", s)
+	}
+}
+
+func TestGoldenDeterministic(t *testing.T) {
+	for _, s := range All() {
+		g1 := s.Golden()
+		g2 := s.Run(Nop{})
+		if g1 != g2 {
+			t.Errorf("%s: golden %x != rerun %x (kernel not deterministic)", s.ID(), g1, g2)
+		}
+		if g1 == 0 {
+			t.Errorf("%s: golden checksum is zero (suspicious)", s.ID())
+		}
+	}
+}
+
+func TestGoldenDistinctAcrossPrograms(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range All() {
+		if other, dup := seen[s.Golden()]; dup {
+			t.Errorf("%s and %s share a golden checksum", s.ID(), other)
+		}
+		seen[s.Golden()] = s.ID()
+	}
+}
+
+// countingInjector counts hook calls without corrupting anything.
+type countingInjector struct{ words, floats int }
+
+func (c *countingInjector) Word(x uint64) uint64 { c.words++; return x }
+func (c *countingInjector) F64(x float64) float64 {
+	c.floats++
+	return x
+}
+
+// Every kernel must call the injector at least minHookCalls times so that
+// scheduled bitflips always land (inject.go contract).
+func TestKernelsCallInjectorEnough(t *testing.T) {
+	for _, s := range All() {
+		ci := &countingInjector{}
+		s.Run(ci)
+		if total := ci.words + ci.floats; total < minHookCalls {
+			t.Errorf("%s: only %d injector calls, want >= %d", s.ID(), total, minHookCalls)
+		}
+	}
+	// Even at the minimum size the floor must hold.
+	for _, s := range PrimarySuite() {
+		tiny := &Spec{Name: s.Name, Input: "tiny", Size: 1, Kernel: s.Kernel}
+		ci := &countingInjector{}
+		tiny.Run(ci)
+		if total := ci.words + ci.floats; total < minHookCalls {
+			t.Errorf("%s size=1: only %d injector calls, want >= %d", s.Name, total, minHookCalls)
+		}
+	}
+}
+
+// A scheduled bitflip must corrupt the output checksum — that is what the
+// framework's SDC detection observes.
+func TestBitflipCausesSDC(t *testing.T) {
+	for _, s := range All() {
+		corrupted := 0
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			inj := NewBitflip(rand.New(rand.NewSource(int64(trial))), 1)
+			if s.Run(inj) != s.Golden() {
+				corrupted++
+			}
+		}
+		if corrupted < trials-2 {
+			t.Errorf("%s: bitflips visible in only %d/%d runs", s.ID(), corrupted, trials)
+		}
+	}
+}
+
+func TestBitflipZeroFlipsIsNop(t *testing.T) {
+	for _, s := range PrimarySuite() {
+		inj := NewBitflip(rand.New(rand.NewSource(1)), 0)
+		if inj.Flips() != 0 {
+			t.Fatalf("zero-flip injector has %d flips", inj.Flips())
+		}
+		if s.Run(inj) != s.Golden() {
+			t.Errorf("%s: zero-flip injector corrupted output", s.ID())
+		}
+	}
+}
+
+func TestBitflipFlipCount(t *testing.T) {
+	for want := 0; want <= 5; want++ {
+		inj := NewBitflip(rand.New(rand.NewSource(9)), want)
+		if inj.Flips() != want {
+			t.Errorf("NewBitflip(%d) scheduled %d flips", want, inj.Flips())
+		}
+	}
+}
+
+func TestNopInjector(t *testing.T) {
+	var n Nop
+	if n.Word(42) != 42 || n.F64(3.14) != 3.14 {
+		t.Error("Nop injector modified values")
+	}
+}
+
+func TestFlipF64Bit(t *testing.T) {
+	x := 1.5
+	y := flipF64Bit(x, 52) // exponent bit: large change
+	if x == y {
+		t.Error("flip did not change the value")
+	}
+	if flipF64Bit(y, 52) != x {
+		t.Error("double flip did not restore the value")
+	}
+}
+
+// Idiosyncrasies are bounded but substantial: per the paper's §4.3.1
+// finding, most of the program-to-program Vmin variation is *not* visible
+// in the performance counters, so the counter-invisible score component
+// must carry real spread — while staying physically plausible (≲30 mV).
+func TestIdiosyncrasiesBounded(t *testing.T) {
+	var sum, sumSq float64
+	for _, s := range All() {
+		idio := s.Idio()
+		if math.Abs(idio) > 0.30 {
+			t.Errorf("%s: |idio| = %.3f too large (score %.3f, visible %.3f)",
+				s.ID(), idio, s.Score, s.Profile.Visible())
+		}
+		sum += idio
+		sumSq += idio * idio
+	}
+	n := float64(len(All()))
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if sd < 0.02 || sd > 0.15 {
+		t.Errorf("idio spread σ = %.3f, want within [0.02, 0.15]", sd)
+	}
+}
+
+// The counter-visible stress must be essentially uncorrelated with the
+// total stress score across the suite — this is what makes per-program
+// Vmin unpredictable from counters (§4.3.1) while the severity regression
+// still works (§4.3.2).
+func TestVisibleScoreDecorrelated(t *testing.T) {
+	var xs, ys []float64
+	for _, s := range All() {
+		xs = append(xs, s.Profile.Visible())
+		ys = append(ys, s.Score)
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	corr := (sxy/n - sx/n*sy/n) / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+	if math.Abs(corr) > 0.35 {
+		t.Errorf("corr(visible, score) = %.3f, want ≈0", corr)
+	}
+}
+
+// Scores span the calibrated SPEC range that produces the paper's Vmin
+// spread (≈0.74–1.0).
+func TestScoresInCalibratedRange(t *testing.T) {
+	for _, s := range All() {
+		if s.Score < 0.70 || s.Score > 1.01 {
+			t.Errorf("%s: score %.3f outside [0.70, 1.01]", s.ID(), s.Score)
+		}
+	}
+	bw, _ := Lookup("bwaves/ref")
+	mcf, _ := Lookup("mcf/ref")
+	if bw.Score != 1.0 {
+		t.Errorf("bwaves score = %v, want 1.0 (highest Vmin anchor)", bw.Score)
+	}
+	if mcf.Score != 0.737 {
+		t.Errorf("mcf score = %v, want 0.737 (lowest Vmin anchor)", mcf.Score)
+	}
+	for _, s := range All() {
+		if s.Score > bw.Score {
+			t.Errorf("%s score %.3f exceeds bwaves", s.ID(), s.Score)
+		}
+		if s.Score < mcf.Score {
+			t.Errorf("%s score %.3f below mcf", s.ID(), s.Score)
+		}
+	}
+}
+
+func TestProfilesInUnitRange(t *testing.T) {
+	for _, s := range All() {
+		p := s.Profile
+		for name, v := range map[string]float64{
+			"Pipeline": p.Pipeline, "FPU": p.FPU, "Memory": p.Memory,
+			"Branch": p.Branch, "ILP": p.ILP,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: %s = %v outside [0,1]", s.ID(), name, v)
+			}
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	register(&Spec{Name: "bwaves", Input: "ref", Kernel: kBwaves})
+}
+
+// Different sizes must change the output (the kernel really depends on its
+// input scale).
+func TestKernelsDependOnSize(t *testing.T) {
+	for _, s := range PrimarySuite() {
+		a := s.Kernel(s.Size, Nop{})
+		b := s.Kernel(s.Size*2+17, Nop{})
+		if a == b {
+			t.Errorf("%s: size change did not alter output", s.Name)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	x := uint64(0x0123456789abcdef)
+	base := mix64(x)
+	for bit := uint(0); bit < 64; bit += 7 {
+		diff := base ^ mix64(x^(1<<bit))
+		ones := 0
+		for d := diff; d != 0; d >>= 1 {
+			ones += int(d & 1)
+		}
+		if ones < 10 || ones > 54 {
+			t.Errorf("bit %d: only %d output bits changed", bit, ones)
+		}
+	}
+}
+
+// Property: xorshift never returns 0 (would lock the generator) and the
+// float output stays in [0, 1).
+func TestXorshiftProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		x := newXorshift(seed)
+		for i := 0; i < 16; i++ {
+			if x.next() == 0 {
+				return false
+			}
+			f := x.float()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldF64NaNCanonical(t *testing.T) {
+	nan1 := math.NaN()
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1)
+	if foldF64(1, nan1) != foldF64(1, nan2) {
+		t.Error("NaN payloads fold differently")
+	}
+}

@@ -1,0 +1,646 @@
+package xgene
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"xvolt/internal/silicon"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+)
+
+func testMachine() *Machine {
+	return New(silicon.NewChip(silicon.TTT, 1))
+}
+
+func mustSpec(t *testing.T, id string) *workload.Spec {
+	t.Helper()
+	s, err := workload.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBootState(t *testing.T) {
+	m := testMachine()
+	if !m.Responsive() {
+		t.Fatal("fresh machine not responsive")
+	}
+	if m.BootCount() != 1 {
+		t.Errorf("boot count = %d", m.BootCount())
+	}
+	if m.PMDVoltage() != units.NominalPMD {
+		t.Errorf("boot voltage = %v", m.PMDVoltage())
+	}
+	if m.SoCVoltage() != units.NominalSoC {
+		t.Errorf("boot SoC voltage = %v", m.SoCVoltage())
+	}
+	for pmd := 0; pmd < silicon.NumPMDs; pmd++ {
+		if m.PMDFrequency(pmd) != units.MaxFrequency {
+			t.Errorf("pmd%d boot frequency = %v", pmd, m.PMDFrequency(pmd))
+		}
+	}
+}
+
+func TestParamsTable2(t *testing.T) {
+	p := testMachine().Params()
+	if p.Cores != 8 || p.CoreClockMax != 2400 || p.Technology != "28 nm" || p.MaxTDPWatts != 35 {
+		t.Errorf("params = %+v", p)
+	}
+	rows := p.Rows()
+	if len(rows) != 10 {
+		t.Errorf("Table 2 has %d rows, want 10", len(rows))
+	}
+	if rows[0][0] != "ISA" || rows[9][1] != "35 W" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestSetPMDVoltageValidation(t *testing.T) {
+	m := testMachine()
+	if err := m.SetPMDVoltage(915); err != nil {
+		t.Fatalf("valid voltage rejected: %v", err)
+	}
+	if m.PMDVoltage() != 915 {
+		t.Errorf("voltage = %v", m.PMDVoltage())
+	}
+	for _, v := range []units.MilliVolts{912, 985, 595, 1200} {
+		if err := m.SetPMDVoltage(v); !errors.Is(err, ErrBadVoltage) {
+			t.Errorf("SetPMDVoltage(%v) err = %v", v, err)
+		}
+	}
+	// Rejected settings must not change the rail.
+	if m.PMDVoltage() != 915 {
+		t.Errorf("voltage moved to %v after rejected request", m.PMDVoltage())
+	}
+}
+
+func TestSetSoCVoltage(t *testing.T) {
+	m := testMachine()
+	if err := m.SetSoCVoltage(900); err != nil {
+		t.Fatalf("valid SoC voltage rejected: %v", err)
+	}
+	if m.SoCVoltage() != 900 {
+		t.Errorf("SoC voltage = %v", m.SoCVoltage())
+	}
+	if err := m.SetSoCVoltage(955); !errors.Is(err, ErrBadVoltage) {
+		t.Errorf("over-nominal SoC err = %v", err)
+	}
+}
+
+func TestSetPMDFrequency(t *testing.T) {
+	m := testMachine()
+	if err := m.SetPMDFrequency(2, 1200); err != nil {
+		t.Fatalf("valid frequency rejected: %v", err)
+	}
+	if m.PMDFrequency(2) != 1200 {
+		t.Errorf("pmd2 frequency = %v", m.PMDFrequency(2))
+	}
+	if m.PMDFrequency(0) != 2400 {
+		t.Error("other PMD frequency changed")
+	}
+	if err := m.SetPMDFrequency(2, 1000); !errors.Is(err, ErrBadFrequency) {
+		t.Errorf("off-grid frequency err = %v", err)
+	}
+	if err := m.SetPMDFrequency(7, 1200); err == nil {
+		t.Error("bad PMD accepted")
+	}
+}
+
+func TestRunCleanAtNominal(t *testing.T) {
+	m := testMachine()
+	spec := mustSpec(t, "bwaves/ref")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		res, err := m.RunOnCore(4, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 0 || !res.SystemUp {
+			t.Fatalf("nominal run failed: %+v", res)
+		}
+		if res.Output != spec.Golden() {
+			t.Fatalf("nominal run corrupted output")
+		}
+		if !res.GroundTru.Clean() {
+			t.Fatalf("nominal run has effects: %+v", res.GroundTru)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := testMachine()
+	spec := mustSpec(t, "mcf/ref")
+	rng := rand.New(rand.NewSource(1))
+	if _, err := m.RunOnCore(8, spec, rng); !errors.Is(err, ErrBadCore) {
+		t.Errorf("bad core err = %v", err)
+	}
+	m.PowerOff()
+	if _, err := m.RunOnCore(0, spec, rng); !errors.Is(err, ErrPoweredOff) {
+		t.Errorf("powered-off err = %v", err)
+	}
+	if err := m.SetPMDVoltage(900); !errors.Is(err, ErrPoweredOff) {
+		t.Errorf("powered-off set err = %v", err)
+	}
+}
+
+// crashMachine drives the machine into a system crash deterministically by
+// undervolting far below the crash region.
+func crashMachine(t *testing.T, m *Machine, core int) {
+	t.Helper()
+	spec := mustSpec(t, "bwaves/ref")
+	rng := rand.New(rand.NewSource(2))
+	if err := m.SetPMDVoltage(700); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		res, err := m.RunOnCore(core, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SystemUp {
+			return
+		}
+	}
+	t.Fatal("machine refused to crash at 700mV")
+}
+
+func TestSystemCrashAndRecovery(t *testing.T) {
+	m := testMachine()
+	crashMachine(t, m, 0)
+	if m.Responsive() {
+		t.Fatal("machine responsive after system crash")
+	}
+	spec := mustSpec(t, "mcf/ref")
+	if _, err := m.RunOnCore(0, spec, rand.New(rand.NewSource(3))); !errors.Is(err, ErrUnresponsive) {
+		t.Errorf("crashed-machine run err = %v", err)
+	}
+	if err := m.SetPMDVoltage(980); !errors.Is(err, ErrUnresponsive) {
+		t.Errorf("crashed-machine set err = %v", err)
+	}
+	// Heartbeat must not advance while hung.
+	h1 := m.Heartbeat()
+	h2 := m.Heartbeat()
+	if h2 != h1 {
+		t.Error("heartbeat advanced on a hung system")
+	}
+	// Reset restores nominal conditions.
+	boots := m.BootCount()
+	m.Reset()
+	if !m.Responsive() || m.BootCount() != boots+1 {
+		t.Fatal("reset did not recover the machine")
+	}
+	if m.PMDVoltage() != units.NominalPMD {
+		t.Errorf("voltage after reset = %v", m.PMDVoltage())
+	}
+	if m.Heartbeat() <= h1 {
+		t.Error("heartbeat not advancing after reset")
+	}
+}
+
+func TestPowerOffOn(t *testing.T) {
+	m := testMachine()
+	m.PowerOff()
+	if m.Responsive() {
+		t.Error("responsive while off")
+	}
+	if m.EstimatePower() != 0 {
+		t.Errorf("power draw while off = %v", m.EstimatePower())
+	}
+	m.PowerOn()
+	if !m.Responsive() || m.BootCount() != 2 {
+		t.Error("power-on did not boot")
+	}
+	// PowerOn while already on must not reboot.
+	m.PowerOn()
+	if m.BootCount() != 2 {
+		t.Error("redundant PowerOn rebooted")
+	}
+}
+
+func TestSDCObservableInOutput(t *testing.T) {
+	m := testMachine()
+	spec := mustSpec(t, "bwaves/ref")
+	rng := rand.New(rand.NewSource(4))
+	// Run inside the unsafe region of core 0 and require at least one
+	// output mismatch across many runs.
+	if err := m.SetPMDVoltage(900); err != nil {
+		t.Fatal(err)
+	}
+	mismatches, runs := 0, 0
+	for i := 0; i < 200 && m.Responsive(); i++ {
+		res, err := m.RunOnCore(0, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SystemUp {
+			m.Reset()
+			if err := m.SetPMDVoltage(900); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if res.ExitCode == 0 {
+			runs++
+			if res.Output != spec.Golden() {
+				mismatches++
+				if !res.GroundTru.SDC {
+					t.Fatal("output mismatch without SDC ground truth")
+				}
+			}
+		}
+	}
+	if mismatches == 0 {
+		t.Errorf("no SDCs observed in %d unsafe-region runs", runs)
+	}
+}
+
+func TestEDACReceivesErrors(t *testing.T) {
+	m := testMachine()
+	spec := mustSpec(t, "mcf/ref") // memory-heavy: plenty of CEs when deep
+	rng := rand.New(rand.NewSource(5))
+	if err := m.SetPMDVoltage(870); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if !m.Responsive() {
+			m.Reset()
+			if err := m.SetPMDVoltage(870); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.RunOnCore(0, spec, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reset wipes EDAC, so inspect the final counters: a fresh boot may
+	// have zero, so sweep until some CE arrives.
+	if m.EDAC().Snapshot().TotalCE() == 0 {
+		// Run once more without crashing: drop only slightly below Vmin.
+		m.Reset()
+		if err := m.SetPMDVoltage(880); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500 && m.EDAC().Snapshot().TotalCE() == 0 && m.Responsive(); i++ {
+			if _, err := m.RunOnCore(0, spec, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.EDAC().Snapshot().TotalCE() == 0 {
+			t.Error("no corrected errors ever reached EDAC")
+		}
+	}
+}
+
+func TestConsoleLogsActivity(t *testing.T) {
+	m := testMachine()
+	if err := m.SetPMDVoltage(900); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Join(m.Console().Tail(10), "\n")
+	if !strings.Contains(lines, "900mV") {
+		t.Errorf("console missing voltage log: %q", lines)
+	}
+	crashMachine(t, m, 1)
+	lines = strings.Join(m.Console().Tail(10), "\n")
+	if !strings.Contains(lines, "panic") {
+		t.Errorf("console missing panic: %q", lines)
+	}
+}
+
+func TestTemperatureStabilization(t *testing.T) {
+	m := testMachine()
+	if !m.StabilizeTemperature(43) {
+		t.Fatalf("could not stabilize at 43C, temp = %v", m.Temperature())
+	}
+	got := float64(m.Temperature())
+	if got < 42.5 || got > 43.5 {
+		t.Errorf("temperature = %v, want ≈43C", got)
+	}
+	// Lower voltage/frequency → less heat → fan must adapt again.
+	if err := m.SetPMDVoltage(760); err != nil {
+		t.Fatal(err)
+	}
+	for pmd := 0; pmd < 4; pmd++ {
+		if err := m.SetPMDFrequency(pmd, 1200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.StabilizeTemperature(43) {
+		t.Fatalf("could not restabilize at 43C, temp = %v", m.Temperature())
+	}
+}
+
+func TestFanValidation(t *testing.T) {
+	m := testMachine()
+	if err := m.SetFan(101); err == nil {
+		t.Error("fan 101% accepted")
+	}
+	if err := m.SetFan(-1); err == nil {
+		t.Error("fan -1% accepted")
+	}
+	if err := m.SetFan(50); err != nil {
+		t.Errorf("fan 50%% rejected: %v", err)
+	}
+}
+
+func TestEstimatePowerScales(t *testing.T) {
+	m := testMachine()
+	full := m.EstimatePower()
+	if full <= 0 || full > m.Params().MaxTDPWatts {
+		t.Errorf("nominal power %v outside (0, TDP]", full)
+	}
+	if err := m.SetPMDVoltage(760); err != nil {
+		t.Fatal(err)
+	}
+	under := m.EstimatePower()
+	if under >= full {
+		t.Errorf("undervolted power %v not below nominal %v", under, full)
+	}
+	for pmd := 0; pmd < 4; pmd++ {
+		if err := m.SetPMDFrequency(pmd, 1200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := m.EstimatePower()
+	if slow >= under {
+		t.Errorf("downclocked power %v not below %v", slow, under)
+	}
+}
+
+func TestLeakageVisibleAcrossCorners(t *testing.T) {
+	tff := New(silicon.NewChip(silicon.TFF, 2))
+	tss := New(silicon.NewChip(silicon.TSS, 3))
+	if tff.EstimatePower() <= tss.EstimatePower() {
+		t.Errorf("TFF power %v not above TSS %v (leakage)", tff.EstimatePower(), tss.EstimatePower())
+	}
+}
+
+func TestPerPMDRailsAblation(t *testing.T) {
+	m := testMachine()
+	if err := m.SetPMDRail(2, 900); err == nil {
+		t.Error("SetPMDRail worked without enabling the ablation")
+	}
+	m.EnablePerPMDRails()
+	if !m.PerPMDRails() {
+		t.Error("ablation flag not set")
+	}
+	if err := m.SetPMDRail(2, 880); err != nil {
+		t.Fatal(err)
+	}
+	if m.PMDRail(2) != 880 || m.PMDRail(0) != units.NominalPMD {
+		t.Errorf("rails = %v / %v", m.PMDRail(2), m.PMDRail(0))
+	}
+	// PMDVoltage reports the max rail.
+	if m.PMDVoltage() != units.NominalPMD {
+		t.Errorf("max rail = %v", m.PMDVoltage())
+	}
+	if err := m.SetPMDRail(9, 880); err == nil {
+		t.Error("bad PMD accepted")
+	}
+	if err := m.SetPMDRail(1, 881); !errors.Is(err, ErrBadVoltage) {
+		t.Error("off-grid rail accepted")
+	}
+}
+
+// Runs on a PMD with its own lowered rail see that rail's effects while
+// other PMDs at nominal stay clean.
+func TestPerPMDRailsAffectRuns(t *testing.T) {
+	m := testMachine()
+	m.EnablePerPMDRails()
+	spec := mustSpec(t, "bwaves/ref")
+	if err := m.SetPMDRail(0, 700); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	// Core 4 (PMD2, nominal rail) must be clean.
+	for i := 0; i < 30; i++ {
+		res, err := m.RunOnCore(4, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.GroundTru.Clean() {
+			t.Fatalf("nominal-rail core misbehaved: %+v", res.GroundTru)
+		}
+	}
+	// Core 0 (PMD0 at 700 mV) must crash quickly.
+	crashed := false
+	for i := 0; i < 50 && !crashed; i++ {
+		res, err := m.RunOnCore(0, spec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = !res.SystemUp
+	}
+	if !crashed {
+		t.Error("undervolted rail never crashed")
+	}
+}
+
+func TestSLIMproInterface(t *testing.T) {
+	m := testMachine()
+	sp := m.SLIMpro()
+	if _, err := sp.Call(Request{Op: OpSetPMDVoltage, MilliVolts: 915}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PMDVoltage() != 915 {
+		t.Errorf("voltage via SLIMpro = %v", m.PMDVoltage())
+	}
+	if _, err := sp.Call(Request{Op: OpSetPMDFrequency, PMD: 1, MegaHertz: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sp.Call(Request{Op: OpReadTemperature})
+	if err != nil || resp.Temperature <= 0 {
+		t.Errorf("temperature read = %v, %v", resp.Temperature, err)
+	}
+	resp, err = sp.Call(Request{Op: OpReadPower})
+	if err != nil || resp.PowerWatts <= 0 {
+		t.Errorf("power read = %v, %v", resp.PowerWatts, err)
+	}
+	if _, err := sp.Call(Request{Op: OpSetFan, Percent: 70}); err != nil {
+		t.Fatal(err)
+	}
+	m.EDAC().ReportCE(0, 0, 3)
+	resp, err = sp.Call(Request{Op: OpReadErrorCounts})
+	if err != nil || resp.CE != 3 {
+		t.Errorf("error counts = %+v, %v", resp, err)
+	}
+	if _, err := sp.Call(Request{Op: OpSetSoCVoltage, MilliVolts: 900}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Call(Request{Op: Opcode(99)}); !errors.Is(err, ErrUnknownOpcode) {
+		t.Errorf("unknown opcode err = %v", err)
+	}
+	for op := OpSetPMDVoltage; op <= OpReadErrorCounts; op++ {
+		if strings.HasPrefix(op.String(), "OP(") {
+			t.Errorf("opcode %d missing name", int(op))
+		}
+	}
+	if !strings.HasPrefix(Opcode(42).String(), "OP(") {
+		t.Error("unknown opcode name wrong")
+	}
+}
+
+func TestPMproPStates(t *testing.T) {
+	m := testMachine()
+	pm := m.PMpro()
+	states := pm.PStates()
+	if len(states) != 8 {
+		t.Fatalf("%d P-states, want 8 (2400..300 by 300)", len(states))
+	}
+	if states[0].Frequency != 2400 || states[7].Frequency != 300 {
+		t.Errorf("p-state frequencies wrong: %+v", states)
+	}
+	for _, st := range states {
+		if st.Voltage != units.NominalPMD {
+			t.Errorf("stock p-state %d voltage = %v, want nominal guardband", st.Index, st.Voltage)
+		}
+	}
+	if err := pm.SetPState(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.PMDFrequency(1) != states[4].Frequency {
+		t.Errorf("pmd1 frequency = %v", m.PMDFrequency(1))
+	}
+	if err := pm.SetPState(0, 99); err == nil {
+		t.Error("bad p-state accepted")
+	}
+}
+
+func TestPMproSetPStateRaisesRail(t *testing.T) {
+	m := testMachine()
+	if err := m.SetPMDVoltage(760); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PMpro().SetPState(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.PMDVoltage() != units.NominalPMD {
+		t.Errorf("p-state did not restore guardband voltage: %v", m.PMDVoltage())
+	}
+}
+
+func TestPMproThrottle(t *testing.T) {
+	m := testMachine()
+	full := m.EstimatePower()
+	steps, err := m.PMpro().Throttle(full * 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Error("throttle applied no steps")
+	}
+	if got := m.EstimatePower(); got > full*0.7 {
+		t.Errorf("power %v above cap %v", got, full*0.7)
+	}
+	// Already under cap: no steps.
+	steps, err = m.PMpro().Throttle(full)
+	if err != nil || steps != 0 {
+		t.Errorf("redundant throttle = %d, %v", steps, err)
+	}
+	// Impossible cap.
+	if _, err := m.PMpro().Throttle(0.1); err == nil {
+		t.Error("impossible cap accepted")
+	}
+}
+
+func TestPMproThermal(t *testing.T) {
+	m := testMachine()
+	if err := m.SetFan(0); err != nil {
+		t.Fatal(err)
+	}
+	// With no cooling the die may or may not trip depending on power; force
+	// the hot case by checking behavior at both extremes.
+	err := m.PMpro().CheckThermal()
+	if err != nil && !errors.Is(err, ErrThermalTrip) {
+		t.Fatalf("unexpected thermal error: %v", err)
+	}
+	if errors.Is(err, ErrThermalTrip) {
+		for pmd := 0; pmd < 4; pmd++ {
+			if m.PMDFrequency(pmd) != units.MinFrequency {
+				t.Error("thermal trip did not throttle")
+			}
+		}
+	}
+	// Plenty of cooling: no trip.
+	if err := m.SetFan(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PMpro().CheckThermal(); err != nil {
+		t.Errorf("thermal trip with full fan: %v", err)
+	}
+}
+
+func TestBusyCoreRejected(t *testing.T) {
+	m := testMachine()
+	// Mark the core busy through the internal path by simulating overlap:
+	// RunOnCore is synchronous, so emulate by setting state directly.
+	m.mu.Lock()
+	m.busy[3] = true
+	m.mu.Unlock()
+	_, err := m.RunOnCore(3, mustSpec(t, "mcf/ref"), rand.New(rand.NewSource(1)))
+	if !errors.Is(err, ErrBusyCore) {
+		t.Errorf("busy core err = %v", err)
+	}
+}
+
+func TestHalfSpeedSafeAt760(t *testing.T) {
+	m := testMachine()
+	for pmd := 0; pmd < 4; pmd++ {
+		if err := m.SetPMDFrequency(pmd, 1200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SetPMDVoltage(760); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range workload.PrimarySuite() {
+		for core := 0; core < silicon.NumCores; core++ {
+			res, err := m.RunOnCore(core, spec, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.GroundTru.Clean() {
+				t.Fatalf("%s on core %d at 760mV/1.2GHz misbehaved: %+v",
+					spec.ID(), core, res.GroundTru)
+			}
+		}
+	}
+}
+
+// Concurrent runs on distinct cores are safe: the machine's state is
+// mutex-guarded and per-core busy flags serialize conflicts.
+func TestConcurrentRunsOnDistinctCores(t *testing.T) {
+	m := testMachine()
+	spec := mustSpec(t, "hmmer/ref")
+	var wg sync.WaitGroup
+	errs := make(chan error, silicon.NumCores*20)
+	for core := 0; core < silicon.NumCores; core++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(core)))
+			for i := 0; i < 20; i++ {
+				res, err := m.RunOnCore(core, spec, rng)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Output != spec.Golden() {
+					errs <- errors.New("nominal run corrupted under concurrency")
+					return
+				}
+			}
+		}(core)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

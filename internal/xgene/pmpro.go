@@ -1,0 +1,109 @@
+package xgene
+
+import (
+	"errors"
+	"fmt"
+
+	"xvolt/internal/units"
+)
+
+// PMpro is the Power Management processor: it owns ACPI-style performance
+// states, thermal protection and external power throttling (§2.1). The
+// paper's framework does not drive P-states directly (it fixes explicit
+// V/F points), but system software built on the prediction results would —
+// the scheduler example uses this interface.
+type PMpro struct {
+	m *Machine
+}
+
+// PMpro returns the machine's power-management-processor interface.
+func (m *Machine) PMpro() *PMpro { return &PMpro{m: m} }
+
+// PState is an ACPI-like performance state: a frequency with the stock
+// (guardbanded) voltage the firmware would pair with it.
+type PState struct {
+	Index     int
+	Frequency units.MegaHertz
+	Voltage   units.MilliVolts
+}
+
+// stockPStates is the firmware's conservative V/F table: every state runs
+// the rail at nominal voltage — the guardband the paper harvests.
+var stockPStates = buildPStates()
+
+func buildPStates() []PState {
+	var out []PState
+	i := 0
+	for f := units.MaxFrequency; f >= units.MinFrequency; f -= units.FrequencyStep {
+		out = append(out, PState{Index: i, Frequency: f, Voltage: units.NominalPMD})
+		i++
+	}
+	return out
+}
+
+// PStates lists the firmware's performance states, fastest first.
+func (p *PMpro) PStates() []PState {
+	return append([]PState(nil), stockPStates...)
+}
+
+// SetPState applies a P-state to one PMD: its stock frequency, and — since
+// all PMDs share one rail — the rail is raised to the state's voltage only
+// if it currently sits below it.
+func (p *PMpro) SetPState(pmd, index int) error {
+	if index < 0 || index >= len(stockPStates) {
+		return fmt.Errorf("pmpro: no such p-state %d", index)
+	}
+	st := stockPStates[index]
+	if err := p.m.SetPMDFrequency(pmd, st.Frequency); err != nil {
+		return err
+	}
+	if p.m.PMDVoltage() < st.Voltage {
+		return p.m.SetPMDVoltage(st.Voltage)
+	}
+	return nil
+}
+
+// ErrThermalTrip is returned when the die exceeds the protection limit.
+var ErrThermalTrip = errors.New("pmpro: thermal protection tripped")
+
+// thermalLimit is the protection threshold in °C.
+const thermalLimit units.Celsius = 95
+
+// CheckThermal enforces the thermal protection circuit: above the limit it
+// throttles every PMD to the minimum frequency and reports the trip.
+func (p *PMpro) CheckThermal() error {
+	if p.m.Temperature() <= thermalLimit {
+		return nil
+	}
+	for pmd := 0; pmd < 4; pmd++ {
+		if err := p.m.SetPMDFrequency(pmd, units.MinFrequency); err != nil {
+			return err
+		}
+	}
+	p.m.Console().Printf("pmpro: thermal trip — throttled all PMDs to %v", units.MinFrequency)
+	return ErrThermalTrip
+}
+
+// Throttle applies an external power cap: it steps PMD frequencies down,
+// fastest PMD first, until the estimated power fits under capWatts, and
+// returns the number of downshifts applied (0 if already under the cap).
+// It fails if even the floor configuration exceeds the cap.
+func (p *PMpro) Throttle(capWatts float64) (int, error) {
+	steps := 0
+	for p.m.EstimatePower() > capWatts {
+		fastest, fmax := -1, units.MegaHertz(0)
+		for pmd := 0; pmd < 4; pmd++ {
+			if f := p.m.PMDFrequency(pmd); f > fmax {
+				fastest, fmax = pmd, f
+			}
+		}
+		if fmax <= units.MinFrequency {
+			return steps, fmt.Errorf("pmpro: cannot meet %0.1f W cap at frequency floor", capWatts)
+		}
+		if err := p.m.SetPMDFrequency(fastest, fmax-units.FrequencyStep); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}

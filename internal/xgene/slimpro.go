@@ -1,0 +1,111 @@
+package xgene
+
+import (
+	"errors"
+	"fmt"
+
+	"xvolt/internal/units"
+)
+
+// SLIMpro is the Scalable Lightweight Intelligent Management processor: a
+// dedicated microcontroller in the standby power domain that regulates
+// supply voltages, reads sensors, and fronts the error-reporting
+// infrastructure over an I²C instrumentation interface (§2.1). This type
+// mirrors that message-based interface: callers build a Request and get a
+// Response, the way the kernel driver talks to the real firmware.
+type SLIMpro struct {
+	m *Machine
+}
+
+// SLIMpro returns the machine's management-processor interface.
+func (m *Machine) SLIMpro() *SLIMpro { return &SLIMpro{m: m} }
+
+// Opcode enumerates the management operations.
+type Opcode int
+
+// Management opcodes.
+const (
+	OpSetPMDVoltage Opcode = iota
+	OpSetSoCVoltage
+	OpSetPMDFrequency
+	OpReadTemperature
+	OpReadPower
+	OpSetFan
+	OpReadErrorCounts
+	OpSetDRAMRefresh
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpSetPMDVoltage:
+		return "SET_PMD_VOLTAGE"
+	case OpSetSoCVoltage:
+		return "SET_SOC_VOLTAGE"
+	case OpSetPMDFrequency:
+		return "SET_PMD_FREQUENCY"
+	case OpReadTemperature:
+		return "READ_TEMPERATURE"
+	case OpReadPower:
+		return "READ_POWER"
+	case OpSetFan:
+		return "SET_FAN"
+	case OpReadErrorCounts:
+		return "READ_ERROR_COUNTS"
+	case OpSetDRAMRefresh:
+		return "SET_DRAM_REFRESH"
+	default:
+		return fmt.Sprintf("OP(%d)", int(o))
+	}
+}
+
+// Request is one I²C-style management message.
+type Request struct {
+	Op Opcode
+	// PMD selects the target module for frequency ops.
+	PMD int
+	// MilliVolts / MegaHertz / Percent / Multiplier carry the operand per
+	// opcode.
+	MilliVolts units.MilliVolts
+	MegaHertz  units.MegaHertz
+	Percent    float64
+	Multiplier float64
+}
+
+// Response carries the reply.
+type Response struct {
+	// Temperature is set for READ_TEMPERATURE.
+	Temperature units.Celsius
+	// PowerWatts is set for READ_POWER.
+	PowerWatts float64
+	// CE / UE totals are set for READ_ERROR_COUNTS.
+	CE, UE uint64
+}
+
+// ErrUnknownOpcode rejects unsupported messages.
+var ErrUnknownOpcode = errors.New("slimpro: unknown opcode")
+
+// Call performs one management transaction.
+func (s *SLIMpro) Call(req Request) (Response, error) {
+	switch req.Op {
+	case OpSetPMDVoltage:
+		return Response{}, s.m.SetPMDVoltage(req.MilliVolts)
+	case OpSetSoCVoltage:
+		return Response{}, s.m.SetSoCVoltage(req.MilliVolts)
+	case OpSetPMDFrequency:
+		return Response{}, s.m.SetPMDFrequency(req.PMD, req.MegaHertz)
+	case OpReadTemperature:
+		return Response{Temperature: s.m.Temperature()}, nil
+	case OpReadPower:
+		return Response{PowerWatts: s.m.EstimatePower()}, nil
+	case OpSetFan:
+		return Response{}, s.m.SetFan(req.Percent)
+	case OpReadErrorCounts:
+		c := s.m.EDAC().Snapshot()
+		return Response{CE: c.TotalCE(), UE: c.TotalUE()}, nil
+	case OpSetDRAMRefresh:
+		return Response{}, s.m.SetDRAMRefresh(req.Multiplier)
+	default:
+		return Response{}, fmt.Errorf("%w: %v", ErrUnknownOpcode, req.Op)
+	}
+}
