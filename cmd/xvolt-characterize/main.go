@@ -6,19 +6,24 @@
 //
 //	xvolt-characterize -chip TTT -benchmarks bwaves,mcf -cores 0,4
 //	xvolt-characterize -chip TSS -freq 1200 -runs 5 -raw raw.csv -out results.csv
+//	xvolt-characterize -trace-out trace.jsonl -metrics-addr :9090
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"xvolt/internal/core"
 	"xvolt/internal/csvutil"
+	"xvolt/internal/obs"
 	"xvolt/internal/silicon"
+	"xvolt/internal/trace"
 	"xvolt/internal/units"
 	"xvolt/internal/workload"
 	"xvolt/internal/xgene"
@@ -38,15 +43,17 @@ func main() {
 	model := flag.String("model", "xgene", "failure model: xgene or itanium")
 	ckptPath := flag.String("checkpoint", "", "resume from / persist campaign progress in this JSON file")
 	fast := flag.Bool("fast", false, "bisection Vmin search instead of a full sweep (prints a Vmin table, no CSV)")
+	traceOut := flag.String("trace-out", "", "stream every trace event to this JSONL file ('-' = stderr)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address while the campaign runs")
 	flag.Parse()
 
-	if err := run(*chipName, *benchList, *coreList, *freq, *runs, *start, *stop, *seed, *outPath, *rawPath, *model, *ckptPath, *fast); err != nil {
+	if err := run(*chipName, *benchList, *coreList, *freq, *runs, *start, *stop, *seed, *outPath, *rawPath, *model, *ckptPath, *fast, *traceOut, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-characterize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed int64, outPath, rawPath, modelName, ckptPath string, fast bool) error {
+func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed int64, outPath, rawPath, modelName, ckptPath string, fast bool, traceOut, metricsAddr string) error {
 	corner, err := silicon.ParseCorner(chipName)
 	if err != nil {
 		return err
@@ -73,6 +80,32 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 	seedByCorner := map[silicon.Corner]int64{silicon.TTT: 1, silicon.TFF: 2, silicon.TSS: 3}
 	machine := xgene.NewWithModel(silicon.NewChip(corner, seedByCorner[corner]), model)
 	fw := core.New(machine)
+
+	reg := obs.NewRegistry()
+	fw.SetMetrics(reg)
+	fw.SetTrace(trace.New(0))
+	var sink *trace.JSONLSink
+	if traceOut != "" {
+		var closeSink func()
+		sink, closeSink, err = openTraceSink(traceOut)
+		if err != nil {
+			return err
+		}
+		defer closeSink()
+		fw.Trace().SetSink(sink)
+	}
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
 
 	cfg := core.DefaultConfig(benchmarks, cores)
 	cfg.Frequency = units.MegaHertz(freq)
@@ -112,7 +145,26 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 	}
 	fmt.Fprintf(os.Stderr, "characterized %d campaigns (%d runs, %d watchdog recoveries)\n",
 		len(results), len(records), fw.Watchdog().Recoveries())
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d trace events\n", sink.Count())
+	}
 	return nil
+}
+
+// openTraceSink opens the JSONL trace stream ('-' means stderr, keeping
+// stdout free for the results CSV).
+func openTraceSink(path string) (*trace.JSONLSink, func(), error) {
+	if path == "-" {
+		return trace.NewJSONLSink(os.Stderr), func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.NewJSONLSink(f), func() { f.Close() }, nil
 }
 
 // execute runs the sweep, optionally resuming from / persisting to a

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xvolt/internal/trace"
 )
 
 func TestResolveBenchmarks(t *testing.T) {
@@ -48,8 +50,9 @@ func TestRunEndToEnd(t *testing.T) {
 	out := filepath.Join(dir, "results.csv")
 	raw := filepath.Join(dir, "raw.csv")
 	ckpt := filepath.Join(dir, "ckpt.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
 
-	if err := run("TFF", "mcf", "4", 2400, 3, 980, 800, 1, out, raw, "xgene", ckpt, false); err != nil {
+	if err := run("TFF", "mcf", "4", 2400, 3, 980, 800, 1, out, raw, "xgene", ckpt, false, jsonl, ""); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -65,8 +68,33 @@ func TestRunEndToEnd(t *testing.T) {
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Errorf("checkpoint missing: %v", err)
 	}
+	// The -trace-out stream is valid JSONL, one object per emitted event,
+	// telling the campaign's whole story.
+	tf, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace-out produced no events")
+	}
+	kinds := map[trace.Kind]int{}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[trace.CampaignStart] != 1 || kinds[trace.RunDone] == 0 || kinds[trace.Recovery] == 0 {
+		t.Errorf("trace-out kinds = %v", kinds)
+	}
+
 	// Resume: adds a benchmark without redoing mcf.
-	if err := run("TFF", "mcf,gromacs", "4", 2400, 3, 980, 800, 1, out, "", "xgene", ckpt, false); err != nil {
+	if err := run("TFF", "mcf,gromacs", "4", 2400, 3, 980, 800, 1, out, "", "xgene", ckpt, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	blob, err = os.ReadFile(out)
@@ -78,10 +106,13 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	// Validation errors surface.
-	if err := run("XXX", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false); err == nil {
+	if err := run("XXX", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, "", ""); err == nil {
 		t.Error("bad corner accepted")
 	}
-	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "warp", "", false); err == nil {
+	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "warp", "", false, "", ""); err == nil {
 		t.Error("bad model accepted")
+	}
+	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, filepath.Join(dir, "no-such-dir", "t.jsonl"), ""); err == nil {
+		t.Error("unwritable trace-out accepted")
 	}
 }

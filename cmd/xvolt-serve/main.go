@@ -1,10 +1,12 @@
 // Command xvolt-serve runs a characterization study while publishing it
 // over HTTP — the "cloud" sink of the paper's Fig. 2: live board status,
-// parsed results (JSON/CSV) and the framework's trace tail.
+// parsed results (JSON/CSV), the framework's trace tail, and Prometheus
+// metrics on GET /metrics (plus an optional dedicated metrics listener).
 //
 // Usage:
 //
 //	xvolt-serve -addr :8080 -chip TTT -benchmarks bwaves,mcf -cores 0,4
+//	xvolt-serve -metrics-addr :9090 -trace-out trace.jsonl
 //
 // then browse http://localhost:8080/.
 package main
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"xvolt/internal/core"
+	"xvolt/internal/obs"
 	"xvolt/internal/server"
 	"xvolt/internal/silicon"
 	"xvolt/internal/trace"
@@ -33,23 +36,50 @@ func main() {
 	coreList := flag.String("cores", "0,4", "comma-separated core indices")
 	runs := flag.Int("runs", 10, "runs per voltage step")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	metricsAddr := flag.String("metrics-addr", "", "optional extra listen address serving only /metrics and /healthz")
+	traceOut := flag.String("trace-out", "", "stream every trace event to this JSONL file ('-' = stderr)")
 	flag.Parse()
 
-	if err := run(*addr, *chipName, *benchList, *coreList, *runs, *seed); err != nil {
+	if err := run(*addr, *chipName, *benchList, *coreList, *runs, *seed, *metricsAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, chipName, benchList, coreList string, runs int, seed int64) error {
+func run(addr, chipName, benchList, coreList string, runs int, seed int64, metricsAddr, traceOut string) error {
 	corner, err := silicon.ParseCorner(chipName)
 	if err != nil {
 		return err
 	}
 	seedByCorner := map[silicon.Corner]int64{silicon.TTT: 1, silicon.TFF: 2, silicon.TSS: 3}
 	fw := core.New(xgene.New(silicon.NewChip(corner, seedByCorner[corner])))
+	reg := obs.NewRegistry()
+	fw.SetMetrics(reg)
 	fw.SetTrace(trace.New(8192))
+	if traceOut != "" {
+		sink, closeSink, err := openTraceSink(traceOut)
+		if err != nil {
+			return err
+		}
+		defer closeSink()
+		fw.Trace().SetSink(sink)
+	}
 	srv := server.New(fw)
+	srv.SetMetrics(reg)
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			log.Printf("metrics on %s", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
 
 	benchmarks, err := resolveBenchmarks(benchList)
 	if err != nil {
@@ -76,6 +106,25 @@ func run(addr, chipName, benchList, coreList string, runs int, seed int64) error
 
 	log.Printf("serving on %s (chip %s, %d benchmarks, cores %v)", addr, chipName, len(benchmarks), cores)
 	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// openTraceSink opens the JSONL trace stream ('-' means stderr, so the
+// durable log can be captured by whatever supervises the process).
+func openTraceSink(path string) (*trace.JSONLSink, func(), error) {
+	if path == "-" {
+		return trace.NewJSONLSink(os.Stderr), func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := trace.NewJSONLSink(f)
+	return sink, func() {
+		if err := sink.Err(); err != nil {
+			log.Printf("trace sink: %v", err)
+		}
+		f.Close()
+	}, nil
 }
 
 func resolveBenchmarks(list string) ([]*workload.Spec, error) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"xvolt/internal/edac"
+	"xvolt/internal/obs"
 	"xvolt/internal/silicon"
 	"xvolt/internal/trace"
 	"xvolt/internal/units"
@@ -155,6 +156,8 @@ type Framework struct {
 	dog     *watchdog.Watchdog
 	rng     *rand.Rand
 	log     *trace.Log
+	metrics fwMetrics
+	reg     *obs.Registry
 
 	raw []RunRecord
 }
@@ -169,7 +172,13 @@ func New(m *xgene.Machine) *Framework {
 
 // SetTrace attaches a structured event log; pass nil to disable (the
 // default). The log receives campaign/step/run/crash/recovery events.
-func (f *Framework) SetTrace(l *trace.Log) { f.log = l }
+// If a metrics registry is already attached, the log joins it.
+func (f *Framework) SetTrace(l *trace.Log) {
+	f.log = l
+	if f.reg != nil {
+		l.SetMetrics(f.reg)
+	}
+}
 
 // Trace returns the attached event log (nil if none).
 func (f *Framework) Trace() *trace.Log { return f.log }
@@ -211,7 +220,11 @@ func (f *Framework) applySetup(core int, cfg *Config, v units.MilliVolts) error 
 			return err
 		}
 	}
-	return f.machine.SetPMDVoltage(v)
+	if err := f.machine.SetPMDVoltage(v); err != nil {
+		return err
+	}
+	f.metrics.railMV.Set(float64(v))
+	return nil
 }
 
 // restoreNominal returns the machine to nominal voltage so log data can be
@@ -221,6 +234,7 @@ func (f *Framework) restoreNominal() {
 	// Ignore errors: at nominal settings these cannot fail on a live
 	// machine, and a crash here is recovered on the next ensureAlive.
 	_ = f.machine.SetPMDVoltage(units.NominalPMD)
+	f.metrics.railMV.Set(float64(units.NominalPMD))
 }
 
 // newCampaignRand builds the framework RNG stream for a campaign seed.
@@ -257,10 +271,16 @@ func (f *Framework) Execute(cfg Config) ([]RunRecord, error) {
 func (f *Framework) runCampaign(spec *workload.Spec, core int, cfg *Config) ([]RunRecord, error) {
 	f.log.Emit(trace.CampaignStart, "%s on %s core %d at %v", spec.ID(), f.machine.Chip().Name, core, cfg.Frequency)
 	defer f.log.Emit(trace.CampaignEnd, "%s on core %d", spec.ID(), core)
+	span := obs.StartSpan(f.metrics.campaignSeconds)
+	defer func() {
+		span.End()
+		f.metrics.campaigns.Inc()
+	}()
 	var out []RunRecord
 	consecutiveAllCrash := 0
 	for v := cfg.StartVoltage; v >= cfg.StopVoltage; v -= units.VoltageStep {
 		f.log.Emit(trace.StepStart, "%s core %d step %v", spec.ID(), core, v)
+		f.metrics.steps.Inc()
 		crashesThisStep := 0
 		for run := 0; run < cfg.Runs; run++ {
 			rec, err := f.oneRun(spec, core, cfg, v, run)
@@ -335,7 +355,9 @@ func (f *Framework) oneRun(spec *workload.Spec, core int, cfg *Config, v units.M
 		f.ensureAlive()
 		rec.Recovered = true
 	}
-	f.log.Emit(trace.RunDone, "%s core %d %v run %d -> %s", spec.ID(), core, v, runIdx, rec.Classify())
+	obsv := rec.Classify()
+	f.metrics.countRun(obsv)
+	f.log.Emit(trace.RunDone, "%s core %d %v run %d -> %s", spec.ID(), core, v, runIdx, obsv)
 	// Safe data collection: restore nominal voltage before storing logs.
 	f.restoreNominal()
 	return rec, nil

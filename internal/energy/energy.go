@@ -170,6 +170,9 @@ func TradeoffCurve(reqs []PMDRequirement) ([]TradeoffPoint, error) {
 		}
 		appendPoint(op, down)
 	}
+	m := metrics()
+	m.tradeoffCurves.Inc()
+	m.realizedSavings.Set(1 - out[len(out)-1].Power)
 	return out, nil
 }
 
@@ -225,5 +228,8 @@ func Summarize(chip string, vmins []units.MilliVolts) (GuardbandSummary, error) 
 	}
 	s.MinSavings = VoltageSavings(s.WorstVmin)
 	s.MaxSavings = VoltageSavings(s.BestVmin)
+	m := metrics()
+	m.predictedMinSavings.Set(s.MinSavings)
+	m.predictedMaxSavings.Set(s.MaxSavings)
 	return s, nil
 }

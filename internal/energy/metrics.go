@@ -1,0 +1,51 @@
+package energy
+
+import (
+	"sync/atomic"
+
+	"xvolt/internal/obs"
+)
+
+// Package-level telemetry, mirroring internal/sched: the accounting entry
+// points are free functions, so the instruments live behind an atomic
+// pointer. Until SetMetrics runs, the zero set (all nil, inert) is served.
+type energyMetrics struct {
+	tradeoffCurves      *obs.Counter
+	realizedSavings     *obs.Gauge
+	predictedMinSavings *obs.Gauge
+	predictedMaxSavings *obs.Gauge
+}
+
+var (
+	noMetrics = &energyMetrics{}
+	metricsP  atomic.Pointer[energyMetrics]
+)
+
+func metrics() *energyMetrics {
+	if m := metricsP.Load(); m != nil {
+		return m
+	}
+	return noMetrics
+}
+
+// SetMetrics registers the energy accounting telemetry on r. "Predicted"
+// savings come from characterization (Summarize over safe Vmins — what
+// the guardband promises); "realized" is the saving of the deepest
+// operating point the latest trade-off curve actually reached. A nil
+// registry reverts to unmetered.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metricsP.Store(nil)
+		return
+	}
+	metricsP.Store(&energyMetrics{
+		tradeoffCurves: r.Counter("xvolt_energy_tradeoff_curves_total",
+			"Fig. 9 trade-off curves generated."),
+		realizedSavings: r.Gauge("xvolt_energy_realized_savings_ratio",
+			"Power saving of the deepest point on the most recent trade-off curve."),
+		predictedMinSavings: r.Gauge("xvolt_energy_predicted_savings_min_ratio",
+			"Guaranteed ('at least') saving predicted by the most recent guardband summary."),
+		predictedMaxSavings: r.Gauge("xvolt_energy_predicted_savings_max_ratio",
+			"Best-case saving predicted by the most recent guardband summary."),
+	})
+}

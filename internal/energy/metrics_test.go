@@ -1,0 +1,42 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"xvolt/internal/obs"
+	"xvolt/internal/units"
+)
+
+func TestEnergyMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	sum, err := Summarize("TTT", []units.MilliVolts{880, 905})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := TradeoffCurve([]PMDRequirement{
+		{PMD: 0, FullSpeed: 905, HalfSpeed: 760},
+		{PMD: 1, FullSpeed: 880, HalfSpeed: 760},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["xvolt_energy_tradeoff_curves_total"]; got != 1 {
+		t.Errorf("curves = %v, want 1", got)
+	}
+	wantRealized := 1 - curve[len(curve)-1].Power
+	if got := snap["xvolt_energy_realized_savings_ratio"]; math.Abs(got-wantRealized) > 1e-12 {
+		t.Errorf("realized = %v, want %v", got, wantRealized)
+	}
+	if got := snap["xvolt_energy_predicted_savings_min_ratio"]; math.Abs(got-sum.MinSavings) > 1e-12 {
+		t.Errorf("predicted min = %v, want %v", got, sum.MinSavings)
+	}
+	if got := snap["xvolt_energy_predicted_savings_max_ratio"]; math.Abs(got-sum.MaxSavings) > 1e-12 {
+		t.Errorf("predicted max = %v, want %v", got, sum.MaxSavings)
+	}
+}

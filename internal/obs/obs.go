@@ -1,0 +1,463 @@
+// Package obs is the framework's telemetry layer: a dependency-free,
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// fixed buckets, and labeled families), span/timer helpers for timing
+// regions, a Prometheus-text-format exposition (WriteProm) and a
+// Snapshot API for tests.
+//
+// The paper's framework lives or dies by what it can observe about its
+// own runs (§2.2.1 "Safe Data Collection"): every subsystem exports
+// quantitative telemetry here so a campaign can be monitored — and its
+// results audited — while it is still running.
+//
+// All instrument methods and all Registry lookup methods are nil-safe:
+// a component holding a nil *Counter (because no registry was attached)
+// pays one pointer compare per operation and records nothing. That keeps
+// instrumentation unconditional at call sites.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the instrument families a registry can hold.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution with fixed upper bounds.
+	KindHistogram
+)
+
+// String names the kind as in the Prometheus TYPE line.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// addFloat atomically adds d to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing float64. The zero value is ready
+// to use; a nil *Counter is inert.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract). Nil-safe.
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64. The zero value is ready; nil is inert.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the value by d (negative allowed). Nil-safe.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, d)
+}
+
+// Inc adds 1. Nil-safe.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1. Nil-safe.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value. Nil-safe (0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a distribution over fixed, sorted bucket upper bounds
+// (cumulative "le" semantics at exposition time). Construct through a
+// Registry; nil is inert.
+type Histogram struct {
+	upper  []float64       // sorted upper bounds, +Inf implied
+	counts []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	// Drop duplicates and a trailing +Inf (implied).
+	dedup := upper[:0]
+	for _, b := range upper {
+		if math.IsInf(b, +1) {
+			continue
+		}
+		if len(dedup) == 0 || dedup[len(dedup)-1] != b {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.upper, v) // first bucket with upper ≥ v (le is inclusive)
+	h.counts[idx].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations. Nil-safe (0).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations. Nil-safe (0).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the upper bounds and their cumulative counts (the +Inf
+// bucket is the final entry, equal to Count). Nil-safe (nil, nil).
+func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append(append([]float64(nil), h.upper...), math.Inf(+1))
+	cumulative = make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return upper, cumulative
+}
+
+// DefBuckets are general-purpose latency buckets in seconds. The low end
+// is dense because the simulated board runs far faster than real silicon.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 60,
+}
+
+// ExpBuckets returns n buckets starting at start, each factor× the last.
+// Invalid shapes (n < 1, start ≤ 0, factor ≤ 1) yield nil.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n buckets starting at start, spaced by width.
+// Invalid shapes (n < 1, width ≤ 0) yield nil.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// family is one registered metric name: either a single instrument
+// (labels == nil) or a labeled family of children.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	single any // *Counter / *Gauge / *Histogram when labels == nil
+
+	mu       sync.Mutex
+	children map[string]any      // joined label values -> instrument
+	values   map[string][]string // joined label values -> the values themselves
+}
+
+func (f *family) child(values []string, make func() any) any {
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	f.values[key] = append([]string(nil), values...)
+	return c
+}
+
+// labelKey joins label values with an unprintable separator so distinct
+// value tuples cannot collide.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// Registry holds a namespace of instruments. The zero value is NOT usable;
+// call NewRegistry. A nil *Registry is safe: every lookup returns a nil
+// instrument, which is itself inert.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// validName matches the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the family for name, creating it on first use.
+// Re-registering a name with a different kind, label set or bucket layout
+// is a programming error and panics — silent divergence would corrupt the
+// exposition.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !sameStrings(f.labels, labels) || !sameFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]any{},
+		values:   map[string][]string{},
+	}
+	if len(labels) == 0 {
+		switch kind {
+		case KindCounter:
+			f.single = &Counter{}
+		case KindGauge:
+			f.single = &Gauge{}
+		case KindHistogram:
+			f.single = newHistogram(buckets)
+		}
+	}
+	r.fams[name] = f
+	return f
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Nil-safe: a nil registry returns a nil (inert) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindCounter, nil, nil).single.(*Counter)
+}
+
+// Gauge returns the gauge registered under name. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindGauge, nil, nil).single.(*Gauge)
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (nil/empty means DefBuckets). Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, KindHistogram, nil, buckets).single.(*Histogram)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ fam *family }
+
+// CounterVec returns the labeled counter family under name. Nil-safe.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: CounterVec %q needs at least one label", name))
+	}
+	return &CounterVec{fam: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the child counter for the given label values (created on
+// first use). Nil-safe: nil vec returns a nil counter. The value count
+// must match the registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	return v.fam.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec returns the labeled gauge family under name. Nil-safe.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: GaugeVec %q needs at least one label", name))
+	}
+	return &GaugeVec{fam: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	return v.fam.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family sharing one bucket layout.
+type HistogramVec struct{ fam *family }
+
+// HistogramVec returns the labeled histogram family under name with the
+// given buckets (nil/empty means DefBuckets). Nil-safe.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: HistogramVec %q needs at least one label", name))
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the child histogram for the label values. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	buckets := v.fam.buckets
+	return v.fam.child(values, func() any { return newHistogram(buckets) }).(*Histogram)
+}

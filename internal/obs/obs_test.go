@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x_total", "h") != r.Counter("x_total", "h") {
+		t.Error("same name did not return the same counter")
+	}
+	v := r.CounterVec("y_total", "h", "class")
+	if v.With("SDC") != v.With("SDC") {
+		t.Error("same label values did not return the same child")
+	}
+	if v.With("SDC") == v.With("SC") {
+		t.Error("distinct label values shared a child")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	upper, cum := h.Buckets()
+	if len(upper) != 4 || !math.IsInf(upper[3], +1) {
+		t.Fatalf("buckets = %v", upper)
+	}
+	// le is inclusive: 0.1 falls in the 0.1 bucket.
+	want := []uint64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d (buckets %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-105.65) > 1e-9 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestHistogramBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, duplicated, with an explicit +Inf: all normalized away.
+	h := r.Histogram("n_seconds", "h", []float64{5, 1, 5, math.Inf(+1), 1})
+	upper, _ := h.Buckets()
+	if len(upper) != 3 || upper[0] != 1 || upper[1] != 5 || !math.IsInf(upper[2], +1) {
+		t.Errorf("normalized buckets = %v", upper)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := ExpBuckets(1, 2, 4); len(got) != 4 || got[3] != 8 {
+		t.Errorf("ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(0, 5, 3); len(got) != 3 || got[2] != 10 {
+		t.Errorf("LinearBuckets = %v", got)
+	}
+	if ExpBuckets(0, 2, 3) != nil || LinearBuckets(0, 0, 3) != nil {
+		t.Error("invalid bucket shapes not rejected")
+	}
+}
+
+// Everything is inert on nil receivers so unmetered components need no
+// conditionals at instrumentation sites.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "h")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Error("nil counter not inert")
+	}
+	g := r.Gauge("g", "h")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge not inert")
+	}
+	h := r.Histogram("h_seconds", "h", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram not inert")
+	}
+	if up, cum := h.Buckets(); up != nil || cum != nil {
+		t.Error("nil histogram buckets not nil")
+	}
+	cv := r.CounterVec("cv_total", "h", "l")
+	cv.With("x").Inc()
+	gv := r.GaugeVec("gv", "h", "l")
+	gv.With("x").Set(1)
+	hv := r.HistogramVec("hv_seconds", "h", nil, "l")
+	hv.With("x").Observe(1)
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	if err := r.WriteProm(nil); err != nil {
+		t.Errorf("nil registry WriteProm err = %v", err)
+	}
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// The registry's whole point is being pounded from campaign goroutines;
+// run a parallel mix of every operation under -race and check totals.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("par_total", "h")
+			vec := r.CounterVec("par_vec_total", "h", "who")
+			h := r.Histogram("par_seconds", "h", []float64{0.5, 1})
+			gauge := r.Gauge("par_gauge", "h")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				vec.With("a").Inc()
+				vec.With("b").Add(2)
+				h.Observe(float64(i%2) + 0.25)
+				gauge.Set(float64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	const n = goroutines * iters
+	snap := r.Snapshot()
+	if got := snap["par_total"]; got != n {
+		t.Errorf("par_total = %v, want %d", got, n)
+	}
+	if got := snap[`par_vec_total{who="a"}`]; got != n {
+		t.Errorf("vec a = %v, want %d", got, n)
+	}
+	if got := snap[`par_vec_total{who="b"}`]; got != 2*n {
+		t.Errorf("vec b = %v, want %d", got, 2*n)
+	}
+	if got := snap["par_seconds_count"]; got != n {
+		t.Errorf("histogram count = %v, want %d", got, n)
+	}
+	if got := snap[`par_seconds_bucket{le="0.5"}`]; got != n/2 {
+		t.Errorf("le=0.5 bucket = %v, want %d", got, n/2)
+	}
+	if got := snap[`par_seconds_bucket{le="+Inf"}`]; got != n {
+		t.Errorf("+Inf bucket = %v, want %d", got, n)
+	}
+}

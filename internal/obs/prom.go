@@ -1,0 +1,199 @@
+// Prometheus text exposition (version 0.0.4) and the Snapshot test API.
+// The output is fully deterministic: families sort by name, children by
+// label values, so it can be golden-tested and diffed between scrapes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered family in Prometheus text format.
+// Nil-safe: a nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot flattens every sample into a map keyed by its rendered sample
+// name — `name` or `name{k="v"}`, with histograms expanded into _bucket /
+// _sum / _count entries — for direct assertions in tests. Nil-safe (nil).
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, f := range r.sortedFamilies() {
+		f.snapshot(out)
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	return fams
+}
+
+// sortedChildren returns the children in deterministic label-value order.
+func (f *family) sortedChildren() (keys []string, children map[string]any, values map[string][]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	children = make(map[string]any, len(f.children))
+	values = make(map[string][]string, len(f.values))
+	for k, c := range f.children {
+		children[k] = c
+		keys = append(keys, k)
+	}
+	for k, v := range f.values {
+		values[k] = append([]string(nil), v...)
+	}
+	sort.Strings(keys)
+	return keys, children, values
+}
+
+func (f *family) writeProm(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	write := func(inst any, labels string) error {
+		switch m := inst.(type) {
+		case *Counter:
+			_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value()))
+			return err
+		case *Gauge:
+			_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value()))
+			return err
+		case *Histogram:
+			upper, cum := m.Buckets()
+			for i, ub := range upper {
+				le := "+Inf"
+				if !math.IsInf(ub, +1) {
+					le = formatFloat(ub)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, mergeLabels(labels, "le", le), cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(m.Sum())); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, m.Count())
+			return err
+		}
+		return nil
+	}
+	if len(f.labels) == 0 {
+		return write(f.single, "")
+	}
+	keys, children, values := f.sortedChildren()
+	for _, k := range keys {
+		if err := write(children[k], renderLabels(f.labels, values[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) snapshot(out map[string]float64) {
+	snap := func(inst any, labels string) {
+		switch m := inst.(type) {
+		case *Counter:
+			out[f.name+labels] = m.Value()
+		case *Gauge:
+			out[f.name+labels] = m.Value()
+		case *Histogram:
+			upper, cum := m.Buckets()
+			for i, ub := range upper {
+				le := "+Inf"
+				if !math.IsInf(ub, +1) {
+					le = formatFloat(ub)
+				}
+				out[f.name+"_bucket"+mergeLabels(labels, "le", le)] = float64(cum[i])
+			}
+			out[f.name+"_sum"+labels] = m.Sum()
+			out[f.name+"_count"+labels] = float64(m.Count())
+		}
+	}
+	if len(f.labels) == 0 {
+		snap(f.single, "")
+		return
+	}
+	keys, children, values := f.sortedChildren()
+	for _, k := range keys {
+		snap(children[k], renderLabels(f.labels, values[k]))
+	}
+}
+
+// renderLabels renders `{k1="v1",k2="v2"}` in declared label order.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels appends one extra pair (e.g. le) to an existing rendered
+// label set, which may be empty.
+func mergeLabels(rendered, name, value string) string {
+	extra := fmt.Sprintf(`%s="%s"`, name, escapeLabel(value))
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string (only backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

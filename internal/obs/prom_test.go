@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The exposition is deterministic, so it can be golden-tested verbatim:
+// families sort by name, children by label values, le is always last.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xvolt_campaigns_total", "Campaigns completed.").Add(3)
+	runs := r.CounterVec("xvolt_runs_total", "Runs by outcome class.", "class")
+	runs.With("SDC").Inc()
+	runs.With("AC").Add(2)
+	r.Gauge("xvolt_rail_millivolts", "Current rail voltage.").Set(915)
+	h := r.Histogram("xvolt_campaign_seconds", "Campaign wall time.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP xvolt_campaign_seconds Campaign wall time.
+# TYPE xvolt_campaign_seconds histogram
+xvolt_campaign_seconds_bucket{le="0.5"} 1
+xvolt_campaign_seconds_bucket{le="2"} 2
+xvolt_campaign_seconds_bucket{le="+Inf"} 3
+xvolt_campaign_seconds_sum 11.25
+xvolt_campaign_seconds_count 3
+# HELP xvolt_campaigns_total Campaigns completed.
+# TYPE xvolt_campaigns_total counter
+xvolt_campaigns_total 3
+# HELP xvolt_rail_millivolts Current rail voltage.
+# TYPE xvolt_rail_millivolts gauge
+xvolt_rail_millivolts 915
+# HELP xvolt_runs_total Runs by outcome class.
+# TYPE xvolt_runs_total counter
+xvolt_runs_total{class="AC"} 2
+xvolt_runs_total{class="SDC"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePromLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("req_seconds", "", []float64{1}, "path")
+	hv.With("/metrics").Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`req_seconds_bucket{path="/metrics",le="1"} 1`,
+		`req_seconds_bucket{path="/metrics",le="+Inf"} 1`,
+		`req_seconds_sum{path="/metrics"} 0.5`,
+		`req_seconds_count{path="/metrics"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, "# HELP") {
+		t.Error("empty help string still rendered a HELP line")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "h", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h").Add(7)
+	r.GaugeVec("b", "h", "k").With("x").Set(-2)
+	h := r.Histogram("c_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		"a_total":                  7,
+		`b{k="x"}`:                 -2,
+		`c_seconds_bucket{le="1"}`: 1,
+		"c_seconds_sum":            0.5,
+		"c_seconds_count":          1,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("snapshot[%q] = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Errorf("handler = %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	// Nil registry: valid empty exposition, not a crash.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil handler = %d %q", rec.Code, rec.Body.String())
+	}
+}

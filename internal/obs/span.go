@@ -1,0 +1,61 @@
+// Span/timer helpers: time a region and fold the elapsed seconds into a
+// histogram with one line at each end of the region.
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// Span times one region. Obtain with StartSpan; call End (or EndTo) when
+// the region finishes. The zero Span is inert.
+type Span struct {
+	hist  *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing into h. A nil histogram yields a span that
+// still measures (End returns the real duration) but records nothing.
+func StartSpan(h *Histogram) Span {
+	return Span{hist: h, start: time.Now()}
+}
+
+// End observes the elapsed seconds into the span's histogram and returns
+// the duration. Safe to call on the zero Span (returns 0 or wall time
+// since the zero time — callers always pair it with StartSpan).
+func (s Span) End() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	return d
+}
+
+// EndTo observes into an alternate histogram — for regions whose
+// destination is only known at the end (e.g. success vs. failure).
+func (s Span) EndTo(h *Histogram) time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	h.Observe(d.Seconds())
+	return d
+}
+
+// Time runs f under a span observing into h and returns the duration.
+func Time(h *Histogram, f func()) time.Duration {
+	s := StartSpan(h)
+	f()
+	return s.End()
+}
+
+// Handler serves the registry's Prometheus exposition — mountable as
+// `GET /metrics` anywhere. A nil registry serves an empty (valid)
+// exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "h", nil)
+	s := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	d := s.End()
+	if d < time.Millisecond {
+		t.Errorf("span measured %v", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if h.Sum() < 0.001 {
+		t.Errorf("histogram sum = %v", h.Sum())
+	}
+}
+
+func TestSpanNilHistogram(t *testing.T) {
+	s := StartSpan(nil)
+	if d := s.End(); d < 0 {
+		t.Errorf("nil-histogram span duration = %v", d)
+	}
+}
+
+func TestZeroSpanInert(t *testing.T) {
+	var s Span
+	if s.End() != 0 {
+		t.Error("zero span not inert")
+	}
+	r := NewRegistry()
+	h := r.Histogram("zero_seconds", "h", nil)
+	if s.EndTo(h) != 0 || h.Count() != 0 {
+		t.Error("zero span EndTo recorded")
+	}
+}
+
+func TestEndTo(t *testing.T) {
+	r := NewRegistry()
+	ok := r.Histogram("ok_seconds", "h", nil)
+	fail := r.Histogram("fail_seconds", "h", nil)
+	s := StartSpan(ok)
+	s.EndTo(fail)
+	if ok.Count() != 0 || fail.Count() != 1 {
+		t.Errorf("EndTo routed wrong: ok=%d fail=%d", ok.Count(), fail.Count())
+	}
+}
+
+func TestTime(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("time_seconds", "h", nil)
+	ran := false
+	Time(h, func() { ran = true })
+	if !ran || h.Count() != 1 {
+		t.Errorf("Time: ran=%v count=%d", ran, h.Count())
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"xvolt/internal/obs"
+)
+
+// Package-level telemetry: assignment and governor entry points are free
+// functions / value methods, so the instruments live behind an atomic
+// pointer rather than on a struct. Until SetMetrics runs, the zero
+// instrument set (all nil, inert) is served.
+type schedMetrics struct {
+	assignments       *obs.CounterVec // by policy
+	railMV            *obs.Gauge
+	predictedSavings  *obs.Gauge
+	governorDecisions *obs.Counter
+	governorMV        *obs.Gauge
+}
+
+var (
+	noMetrics = &schedMetrics{}
+	metricsP  atomic.Pointer[schedMetrics]
+)
+
+func metrics() *schedMetrics {
+	if m := metricsP.Load(); m != nil {
+		return m
+	}
+	return noMetrics
+}
+
+// SetMetrics registers the scheduler's telemetry on r: placement
+// decisions by policy, the rail voltage the latest placement requires,
+// the predicted savings of the latest comparison, and the governor's
+// decision count and most recent choice. Safe to call concurrently with
+// scheduling; a nil registry reverts to unmetered.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metricsP.Store(nil)
+		return
+	}
+	m := &schedMetrics{
+		assignments: r.CounterVec("xvolt_sched_assignments_total",
+			"Task-to-core placement decisions, by policy.", "policy"),
+		railMV: r.Gauge("xvolt_sched_rail_millivolts",
+			"Shared rail voltage required by the most recent placement."),
+		predictedSavings: r.Gauge("xvolt_sched_predicted_savings_ratio",
+			"Predicted power saving of the most recent placement comparison (SavingsOver)."),
+		governorDecisions: r.Counter("xvolt_sched_governor_decisions_total",
+			"Online governor voltage decisions."),
+		governorMV: r.Gauge("xvolt_sched_governor_millivolts",
+			"Rail voltage most recently chosen by the governor."),
+	}
+	m.assignments.With("optimal")
+	m.assignments.With("naive")
+	metricsP.Store(m)
+}

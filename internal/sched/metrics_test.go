@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"xvolt/internal/obs"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+)
+
+func TestSchedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	flat := func(*workload.Spec, int) units.MilliVolts { return 900 }
+	tasks := []*workload.Spec{{Name: "a", Input: "ref"}, {Name: "b", Input: "ref"}}
+	opt, err := Assign(tasks, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveAssign(tasks, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.SavingsOver(naive)
+
+	g := &Governor{
+		Predict:     func(int, units.MilliVolts) (float64, error) { return 0, nil },
+		Floor:       850,
+		Ceiling:     980,
+		MarginSteps: 1,
+	}
+	choice, err := g.ChooseVoltage([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`xvolt_sched_assignments_total{policy="optimal"}`]; got != 1 {
+		t.Errorf("optimal assignments = %v, want 1", got)
+	}
+	if got := snap[`xvolt_sched_assignments_total{policy="naive"}`]; got != 1 {
+		t.Errorf("naive assignments = %v, want 1", got)
+	}
+	if got := snap["xvolt_sched_rail_millivolts"]; got != 900 {
+		t.Errorf("rail gauge = %v, want 900", got)
+	}
+	if got := snap["xvolt_sched_predicted_savings_ratio"]; got != 0 {
+		t.Errorf("predicted savings = %v, want 0 (identical rail voltages)", got)
+	}
+	if got := snap["xvolt_sched_governor_decisions_total"]; got != 1 {
+		t.Errorf("governor decisions = %v, want 1", got)
+	}
+	if got := snap["xvolt_sched_governor_millivolts"]; got != float64(choice) {
+		t.Errorf("governor gauge = %v, choice was %v", got, choice)
+	}
+}
+
+// Unmetered scheduling (the default) must stay inert, including after an
+// explicit detach.
+func TestSchedUnmetered(t *testing.T) {
+	SetMetrics(nil)
+	flat := func(*workload.Spec, int) units.MilliVolts { return 900 }
+	if _, err := Assign([]*workload.Spec{{Name: "a", Input: "ref"}}, flat); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,6 +66,9 @@ func NaiveAssign(tasks []*workload.Spec, vmin VminOf) (Placement, error) {
 		p.ByCore[i] = tk
 	}
 	p.Voltage = requiredVoltage(&p, vmin)
+	m := metrics()
+	m.assignments.With("naive").Inc()
+	m.railMV.Set(float64(p.Voltage))
 	return p, nil
 }
 
@@ -120,6 +123,9 @@ func Assign(tasks []*workload.Spec, vmin VminOf) (Placement, error) {
 		p.ByCore[core] = tasks[i]
 	}
 	p.Voltage = requiredVoltage(&p, vmin)
+	m := metrics()
+	m.assignments.With("optimal").Inc()
+	m.railMV.Set(float64(p.Voltage))
 	return p, nil
 }
 
@@ -163,7 +169,9 @@ func match(cost [][]units.MilliVolts, limit units.MilliVolts) []int {
 // power-saving difference between this placement and another at full
 // frequency (both run at their own required voltages).
 func (p Placement) SavingsOver(other Placement) float64 {
-	return other.Voltage.RelativeSquared() - p.Voltage.RelativeSquared()
+	s := other.Voltage.RelativeSquared() - p.Voltage.RelativeSquared()
+	metrics().predictedSavings.Set(s)
+	return s
 }
 
 // Governor picks rail voltages online from severity predictions.
@@ -212,5 +220,9 @@ func (g *Governor) ChooseVoltage(activeCores []int) (units.MilliVolts, error) {
 		choice = v
 	}
 	choice += units.MilliVolts(g.MarginSteps) * units.VoltageStep
-	return units.ClampVoltage(choice, g.Floor, g.Ceiling), nil
+	choice = units.ClampVoltage(choice, g.Floor, g.Ceiling)
+	m := metrics()
+	m.governorDecisions.Inc()
+	m.governorMV.Set(float64(choice))
+	return choice, nil
 }

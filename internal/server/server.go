@@ -11,9 +11,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"xvolt/internal/core"
 	"xvolt/internal/csvutil"
+	"xvolt/internal/obs"
 	"xvolt/internal/units"
 )
 
@@ -23,12 +25,49 @@ type Server struct {
 	fw      *core.Framework
 	results []*core.CampaignResult
 	weights core.Weights
+
+	metrics atomic.Pointer[httpMetrics]
 }
+
+// httpMetrics are the per-endpoint request instruments plus the registry
+// they live in (for the /metrics exposition itself).
+type httpMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec   // route, code
+	latency  *obs.HistogramVec // route
+}
+
+// routes are the served patterns, known up front so the latency families
+// can be pre-seeded and the path label space stays bounded — a request
+// label must never be attacker-chosen.
+var routes = []string{"/healthz", "/metrics", "/api/status", "/api/results", "/api/results.csv", "/api/trace", "/"}
 
 // New wraps a framework (which may still be running campaigns). Results
 // are published with SetResults as they are parsed.
 func New(fw *core.Framework) *Server {
 	return &Server{fw: fw, weights: core.PaperWeights}
+}
+
+// SetMetrics attaches a registry: every endpoint gains request counting
+// and a latency histogram, and GET /metrics starts serving the registry's
+// Prometheus exposition. Safe to call at any time, including while
+// serving; nil reverts to unmetered (and an empty /metrics).
+func (s *Server) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		s.metrics.Store(nil)
+		return
+	}
+	m := &httpMetrics{
+		reg: r,
+		requests: r.CounterVec("xvolt_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		latency: r.HistogramVec("xvolt_http_request_seconds",
+			"HTTP request latency, by route pattern.", nil, "route"),
+	}
+	for _, route := range routes {
+		m.latency.With(route)
+	}
+	s.metrics.Store(m)
 }
 
 // SetResults replaces the published campaign results.
@@ -38,28 +77,67 @@ func (s *Server) SetResults(results []*core.CampaignResult) {
 	s.results = results
 }
 
-// snapshot returns the current results slice.
+// snapshot returns a copy of the current results slice. The copy matters:
+// handlers iterate the returned header outside the lock, and a concurrent
+// SetResults must not be able to race those readers.
 func (s *Server) snapshot() []*core.CampaignResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.results
+	return append([]*core.CampaignResult(nil), s.results...)
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps one handler with the telemetry middleware. The route label
+// is the mux pattern, not the request path, so cardinality stays fixed.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		m := s.metrics.Load()
+		if m == nil {
+			h(w, r)
+			return
+		}
+		span := obs.StartSpan(m.latency.With(pattern))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		span.End()
+		m.requests.With(pattern, strconv.Itoa(sw.code)).Inc()
+	})
 }
 
 // Handler returns the HTTP routing for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/results", s.handleResultsJSON)
-	mux.HandleFunc("/api/results.csv", s.handleResultsCSV)
-	mux.HandleFunc("/api/trace", s.handleTrace)
-	mux.HandleFunc("/", s.handleIndex)
+	s.route(mux, "/healthz", s.handleHealth)
+	s.route(mux, "/metrics", s.handleMetrics)
+	s.route(mux, "/api/status", s.handleStatus)
+	s.route(mux, "/api/results", s.handleResultsJSON)
+	s.route(mux, "/api/results.csv", s.handleResultsCSV)
+	s.route(mux, "/api/trace", s.handleTrace)
+	s.route(mux, "/", s.handleIndex)
 	return mux
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var reg *obs.Registry
+	if m := s.metrics.Load(); m != nil {
+		reg = m.reg
+	}
+	obs.Handler(reg).ServeHTTP(w, r)
 }
 
 // statusDTO is the /api/status payload.
@@ -191,6 +269,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/results">results (JSON)</a></li>
 <li><a href="/api/results.csv">results (CSV)</a></li>
 <li><a href="/api/trace?n=50">trace tail</a></li>
+<li><a href="/metrics">metrics (Prometheus)</a></li>
 </ul>`, s.fw.Machine().Chip().Name, len(s.snapshot()))
 }
 

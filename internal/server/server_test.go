@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"xvolt/internal/core"
+	"xvolt/internal/obs"
 	"xvolt/internal/silicon"
 	"xvolt/internal/trace"
 	"xvolt/internal/workload"
@@ -156,5 +157,110 @@ func TestSetResultsReplaces(t *testing.T) {
 	code, body := get(t, ts, "/api/results")
 	if code != 200 || strings.Contains(body, "mcf") {
 		t.Errorf("stale results still served: %q", body)
+	}
+}
+
+// The /metrics endpoint serves the attached registry's exposition, and
+// the middleware accounts every request by route and status code.
+func TestMetricsEndpoint(t *testing.T) {
+	fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+	reg := obs.NewRegistry()
+	fw.SetMetrics(reg)
+	fw.SetTrace(trace.New(0))
+	spec, err := workload.Lookup("mcf/ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig([]*workload.Spec{spec}, []int{4})
+	cfg.Runs = 2
+	results, err := fw.Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(fw)
+	s.SetMetrics(reg)
+	s.SetResults(results)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/api/status")
+	get(t, ts, "/api/status")
+	if code, _ := get(t, ts, "/api/trace?n=bogus"); code != 400 {
+		t.Fatalf("bad trace query = %d", code)
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	// The acceptance-critical families, all through one scrape.
+	for _, want := range []string{
+		"# TYPE xvolt_runs_total counter",
+		`xvolt_runs_total{class="SC"}`,
+		"xvolt_watchdog_recoveries_total",
+		"# TYPE xvolt_http_request_seconds histogram",
+		`xvolt_http_request_seconds_bucket{route="/api/status",le="+Inf"} 2`,
+		"# TYPE xvolt_campaign_seconds histogram",
+		"xvolt_campaign_seconds_count 1",
+		`xvolt_http_requests_total{route="/api/status",code="200"} 2`,
+		`xvolt_http_requests_total{route="/api/trace",code="400"} 1`,
+		`xvolt_trace_events_total{kind="run"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The scrape itself is counted on the next scrape.
+	_, body = get(t, ts, "/metrics")
+	if !strings.Contains(body, `xvolt_http_requests_total{route="/metrics",code="200"} 1`) {
+		t.Error("/metrics scrape not self-counted")
+	}
+}
+
+// Without SetMetrics the server still serves /metrics (empty exposition)
+// and the middleware stays out of the way.
+func TestMetricsEndpointUnmetered(t *testing.T) {
+	s, _ := studyServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/metrics")
+	if code != 200 || body != "" {
+		t.Errorf("unmetered /metrics = %d %q", code, body)
+	}
+}
+
+// snapshot hands out a copy: republishing results while readers iterate
+// the old slice must not race (run under -race) nor disturb readers.
+func TestSnapshotCopyUnderConcurrentSetResults(t *testing.T) {
+	s, _ := studyServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	results := s.snapshot()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.SetResults(nil)
+			s.SetResults(results)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if code, _ := get(t, ts, "/api/results"); code != 200 {
+			t.Fatalf("results = %d", code)
+		}
+		if code, _ := get(t, ts, "/api/results.csv"); code != 200 {
+			t.Fatalf("csv = %d", code)
+		}
+	}
+	<-done
+	// Mutating the returned copy must not affect the server's slice.
+	snap := s.snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no results")
+	}
+	snap[0] = nil
+	if s.snapshot()[0] == nil {
+		t.Error("snapshot returned the internal slice header")
 	}
 }

@@ -4,12 +4,24 @@
 // survive a crashed machine (§2.2.1 "Safe Data Collection"); this is their
 // in-process equivalent, and the text dump mirrors the raw logs the
 // parsing phase consumes.
+//
+// The in-memory buffer is a bounded head capture: once max events are
+// retained, later events are counted as dropped without even paying for
+// message formatting. Durable, complete capture is the job of a Sink
+// (see SetSink and JSONLSink): every event streams to the sink as it is
+// emitted, exactly like the paper's framework ships raw logs off the
+// board before a crash can eat them.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
+
+	"xvolt/internal/obs"
 )
 
 // Kind classifies an event.
@@ -54,17 +66,76 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts String, including the "kind(N)" form for values this
+// version does not name — JSONL written by a newer framework still
+// round-trips.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "campaign-start":
+		return CampaignStart, nil
+	case "campaign-end":
+		return CampaignEnd, nil
+	case "step":
+		return StepStart, nil
+	case "run":
+		return RunDone, nil
+	case "crash":
+		return SystemCrash, nil
+	case "recovery":
+		return Recovery, nil
+	case "note":
+		return Note, nil
+	}
+	if inner, ok := strings.CutPrefix(s, "kind("); ok {
+		if num, ok := strings.CutSuffix(inner, ")"); ok {
+			n, err := strconv.Atoi(num)
+			if err == nil {
+				return Kind(n), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// MarshalJSON encodes the kind as its name, keeping the JSONL schema
+// readable and stable across reorderings of the enum.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // Event is one log entry. Seq is a monotonically increasing sequence
 // number (the log's logical clock).
 type Event struct {
-	Seq  uint64
-	Kind Kind
-	Msg  string
+	Seq  uint64 `json:"seq"`
+	Kind Kind   `json:"kind"`
+	Msg  string `json:"msg"`
 }
 
 // String renders like "000042 run bwaves/ref core4 885mV -> SDC".
 func (e Event) String() string {
 	return fmt.Sprintf("%06d %-14s %s", e.Seq, e.Kind, e.Msg)
+}
+
+// Sink receives every emitted event as it happens — the off-board stream
+// of the paper's safe data collection. Write is called under the log's
+// lock, so implementations must not call back into the log and should
+// return quickly; errors are the sink's to surface (the log drops them).
+type Sink interface {
+	Write(Event) error
 }
 
 // Log is a bounded in-memory event log. The zero value is unusable; use
@@ -75,6 +146,10 @@ type Log struct {
 	events  []Event
 	max     int
 	dropped uint64
+	sink    Sink
+
+	emitted *obs.CounterVec // by kind
+	dropm   *obs.Counter
 }
 
 // New returns a log retaining up to max events (default 4096 if max ≤ 0).
@@ -85,7 +160,39 @@ func New(max int) *Log {
 	return &Log{max: max}
 }
 
-// Emit appends a formatted event. Safe on a nil log.
+// SetSink attaches (or, with nil, detaches) a streaming sink. Events
+// emitted after the call are forwarded in order, even when the in-memory
+// buffer is full. Nil-safe.
+func (l *Log) SetSink(s Sink) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = s
+}
+
+// SetMetrics registers the log's telemetry on r: emitted events by kind
+// and the dropped count. Nil-safe on both sides.
+func (l *Log) SetMetrics(r *obs.Registry) {
+	if l == nil {
+		return
+	}
+	emitted := r.CounterVec("xvolt_trace_events_total",
+		"Trace events emitted, by kind.", "kind")
+	dropm := r.Counter("xvolt_trace_dropped_total",
+		"Trace events dropped because the in-memory buffer was full.")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.emitted = emitted
+	l.dropm = dropm
+}
+
+// Emit appends a formatted event and streams it to the sink, if any.
+// Once the buffer is full, events still stream to the sink but are no
+// longer retained; with no sink attached the drop is counted before the
+// message is ever formatted, so a saturated log costs no fmt work.
+// Safe on a nil log.
 func (l *Log) Emit(kind Kind, format string, args ...interface{}) {
 	if l == nil {
 		return
@@ -93,12 +200,25 @@ func (l *Log) Emit(kind Kind, format string, args ...interface{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
-	l.events = append(l.events, Event{Seq: l.seq, Kind: kind, Msg: fmt.Sprintf(format, args...)})
-	if len(l.events) > l.max {
-		drop := len(l.events) - l.max
-		l.events = l.events[drop:]
-		l.dropped += uint64(drop)
+	l.emitted.With(kind.String()).Inc()
+	full := len(l.events) >= l.max
+	if full && l.sink == nil {
+		l.dropped++
+		l.dropm.Inc()
+		return
 	}
+	e := Event{Seq: l.seq, Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	if l.sink != nil {
+		// Sink errors are sticky on the sink (see JSONLSink.Err); the log
+		// itself keeps going — losing telemetry must never stop a campaign.
+		_ = l.sink.Write(e)
+	}
+	if full {
+		l.dropped++
+		l.dropm.Inc()
+		return
+	}
+	l.events = append(l.events, e)
 }
 
 // Events returns a copy of the retained events in order. Nil-safe.
@@ -121,7 +241,7 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
-// Dropped reports how many events were evicted by the bound. Nil-safe.
+// Dropped reports how many events were dropped by the bound. Nil-safe.
 func (l *Log) Dropped() uint64 {
 	if l == nil {
 		return 0

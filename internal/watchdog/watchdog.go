@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"xvolt/internal/obs"
 )
 
 // Target is the hardware surface the watchdog is wired to: the serial
@@ -64,6 +66,18 @@ type Watchdog struct {
 	silent     int
 	recoveries int
 	events     []string
+
+	m wdMetrics
+}
+
+// wdMetrics are the watchdog's exported instruments; all fields are
+// nil (inert) until SetMetrics attaches a registry.
+type wdMetrics struct {
+	heartbeats      *obs.Counter
+	stalls          *obs.Counter
+	timeouts        *obs.Counter
+	recoveries      *obs.Counter
+	recoverySeconds *obs.Histogram
 }
 
 // New wires a watchdog to a target. threshold is how many consecutive
@@ -77,6 +91,27 @@ func New(target Target, threshold int) *Watchdog {
 	return &Watchdog{target: target, threshold: threshold}
 }
 
+// SetMetrics registers the watchdog's telemetry on r: heartbeat probes,
+// stalled probes, declared timeouts, recoveries, and the recovery (power
+// cycle) latency histogram. Nil registry leaves the watchdog unmetered.
+func (w *Watchdog) SetMetrics(r *obs.Registry) {
+	m := wdMetrics{
+		heartbeats: r.Counter("xvolt_watchdog_heartbeats_total",
+			"Probes that saw the serial heartbeat advance."),
+		stalls: r.Counter("xvolt_watchdog_stalled_probes_total",
+			"Probes that found the heartbeat silent, below the hang threshold."),
+		timeouts: r.Counter("xvolt_watchdog_timeouts_total",
+			"Hangs declared after the heartbeat stayed silent past the threshold."),
+		recoveries: r.Counter("xvolt_watchdog_recoveries_total",
+			"Power cycles the watchdog performed to recover the board."),
+		recoverySeconds: r.Histogram("xvolt_watchdog_recovery_seconds",
+			"Power-cycle latency per recovery.", nil),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m = m
+}
+
 // Probe performs one monitoring step and recovers the board if the hang
 // threshold is crossed.
 func (w *Watchdog) Probe() Status {
@@ -87,15 +122,21 @@ func (w *Watchdog) Probe() Status {
 		w.haveBeat = true
 		w.lastBeat = beat
 		w.silent = 0
+		w.m.heartbeats.Inc()
 		return Alive
 	}
 	w.silent++
 	if w.silent < w.threshold {
+		w.m.stalls.Inc()
 		return Stalled
 	}
 	// Declared hang: physical power cycle, like pressing the switches.
+	w.m.timeouts.Inc()
+	span := obs.StartSpan(w.m.recoverySeconds)
 	w.target.PowerOff()
 	w.target.PowerOn()
+	span.End()
+	w.m.recoveries.Inc()
 	w.recoveries++
 	w.silent = 0
 	w.haveBeat = false

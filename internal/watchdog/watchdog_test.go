@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"xvolt/internal/obs"
 
 	"xvolt/internal/silicon"
 	"xvolt/internal/workload"
@@ -201,5 +202,40 @@ func TestRunLoop(t *testing.T) {
 	case <-done:
 	case <-time.After(time.Second):
 		t.Fatal("Run did not exit on cancel")
+	}
+}
+
+// Metered probes account for every heartbeat, stall, timeout and power
+// cycle, with one latency sample per recovery.
+func TestWatchdogMetrics(t *testing.T) {
+	tgt := &fakeTarget{aliveVal: true}
+	w := New(tgt, 2)
+	reg := obs.NewRegistry()
+	w.SetMetrics(reg)
+
+	w.Probe() // alive
+	w.Probe() // alive
+	tgt.setAlive(false)
+	if w.Probe() != Stalled {
+		t.Fatal("expected stall")
+	}
+	if w.Probe() != Recovered {
+		t.Fatal("expected recovery")
+	}
+
+	snap := reg.Snapshot()
+	for key, want := range map[string]float64{
+		"xvolt_watchdog_heartbeats_total":       2,
+		"xvolt_watchdog_stalled_probes_total":   1,
+		"xvolt_watchdog_timeouts_total":         1,
+		"xvolt_watchdog_recoveries_total":       1,
+		"xvolt_watchdog_recovery_seconds_count": 1,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+	if got := float64(w.Recoveries()); got != snap["xvolt_watchdog_recoveries_total"] {
+		t.Errorf("metric %v != Recoveries() %v", snap["xvolt_watchdog_recoveries_total"], got)
 	}
 }
