@@ -13,7 +13,9 @@ package xvolt
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"xvolt/internal/core"
 	"xvolt/internal/energy"
@@ -97,6 +99,33 @@ func BenchmarkFigure4Characterization(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkFigure4Parallel measures the parallel campaign engine against
+// the single-worker path on the same Fig. 4 workload and reports the
+// speedup (results are identical by the per-campaign seeding guarantee;
+// only wall clock differs).
+func BenchmarkFigure4Parallel(b *testing.B) {
+	serialOpts := benchOpts
+	serialOpts.Parallelism = 1
+	start := time.Now()
+	if _, err := experiments.Figure4(serialOpts); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	b.ResetTimer()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := time.Since(start) / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkFigure5SeverityMap regenerates the bwaves-on-TTT severity map.

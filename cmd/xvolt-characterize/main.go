@@ -45,15 +45,16 @@ func main() {
 	fast := flag.Bool("fast", false, "bisection Vmin search instead of a full sweep (prints a Vmin table, no CSV)")
 	traceOut := flag.String("trace-out", "", "stream every trace event to this JSONL file ('-' = stderr)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address while the campaign runs")
+	parallelism := flag.Int("parallelism", 0, "campaign-engine workers: 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	flag.Parse()
 
-	if err := run(*chipName, *benchList, *coreList, *freq, *runs, *start, *stop, *seed, *outPath, *rawPath, *model, *ckptPath, *fast, *traceOut, *metricsAddr); err != nil {
+	if err := run(*chipName, *benchList, *coreList, *freq, *runs, *start, *stop, *seed, *outPath, *rawPath, *model, *ckptPath, *fast, *traceOut, *metricsAddr, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-characterize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed int64, outPath, rawPath, modelName, ckptPath string, fast bool, traceOut, metricsAddr string) error {
+func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed int64, outPath, rawPath, modelName, ckptPath string, fast bool, traceOut, metricsAddr string, parallelism int) error {
 	corner, err := silicon.ParseCorner(chipName)
 	if err != nil {
 		return err
@@ -118,7 +119,21 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 		return runFast(fw, cfg, benchmarks, cores)
 	}
 
-	records, err := execute(fw, cfg, ckptPath)
+	var records []core.RunRecord
+	recoveries := func() int { return fw.Watchdog().Recoveries() }
+	if ckptPath == "" && parallelism != 1 {
+		// Parallel campaign engine: each worker drives a clone of the
+		// configured board. Checkpointed studies stay on the sequential
+		// resumable path; results are identical either way.
+		runner := core.NewRunner(machine.Clone)
+		runner.SetParallelism(parallelism)
+		runner.SetMetrics(reg)
+		runner.SetTrace(fw.Trace())
+		records, err = runner.Execute(cfg)
+		recoveries = runner.Recoveries
+	} else {
+		records, err = execute(fw, cfg, ckptPath)
+	}
 	if err != nil {
 		return err
 	}
@@ -144,7 +159,7 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 		}
 	}
 	fmt.Fprintf(os.Stderr, "characterized %d campaigns (%d runs, %d watchdog recoveries)\n",
-		len(results), len(records), fw.Watchdog().Recoveries())
+		len(results), len(records), recoveries())
 	if sink != nil {
 		if err := sink.Err(); err != nil {
 			return err

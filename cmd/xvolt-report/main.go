@@ -27,9 +27,10 @@ func main() {
 	runs := flag.Int("runs", 10, "characterization runs per voltage step")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	charts := flag.Bool("charts", false, "also draw ASCII charts for fig3/fig5/fig9/guardbands")
+	parallelism := flag.Int("parallelism", 0, "campaign-engine workers: 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	flag.Parse()
 
-	opt := experiments.Options{Runs: *runs, Seed: *seed}
+	opt := experiments.Options{Runs: *runs, Seed: *seed, Parallelism: *parallelism}
 	drawCharts = *charts
 	if err := run(*only, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-report:", err)
@@ -65,7 +66,8 @@ func run(only string, opt experiments.Options) error {
 	needFig4 := want("fig3") || want("fig4") || want("guardbands") || want("analysis")
 	if needFig4 {
 		var err error
-		if fig4, err = experiments.Figure4(opt); err != nil {
+		// Memoized: fig3/fig4/guardbands/analysis all reduce one campaign set.
+		if fig4, err = experiments.Fig4(opt); err != nil {
 			return err
 		}
 	}

@@ -85,7 +85,6 @@ func (f *Framework) ExecuteResumable(cfg Config, ckpt *Checkpoint) ([]RunRecord,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f.rng = newCampaignRand(cfg.Seed)
 	f.ensureAlive()
 	f.machine.StabilizeTemperature(cfg.TargetTemperature)
 
@@ -96,6 +95,10 @@ func (f *Framework) ExecuteResumable(cfg Config, ckpt *Checkpoint) ([]RunRecord,
 			if ckpt.has(key) {
 				continue
 			}
+			// Per-campaign seeding makes the resumed study identical to an
+			// uninterrupted one: skipping completed sweeps no longer shifts
+			// the RNG stream of the remaining campaigns.
+			f.rng = f.campaignRand(spec, core, &cfg)
 			recs, err := f.runCampaign(spec, core, &cfg)
 			if err != nil {
 				return nil, err

@@ -35,7 +35,7 @@ func (f *Framework) FindVminFast(spec *workload.Spec, coreID int, cfg Config, co
 	if confirm < 1 {
 		return FastVminResult{}, fmt.Errorf("core: confirm must be >= 1")
 	}
-	f.rng = newCampaignRand(cfg.Seed)
+	f.rng = f.campaignRand(spec, coreID, &cfg)
 	f.ensureAlive()
 	f.machine.StabilizeTemperature(cfg.TargetTemperature)
 	f.log.Emit(trace.Note, "fast-vmin %s core %d: bisecting [%v, %v]",

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"xvolt/internal/obs"
+	"xvolt/internal/silicon"
+	"xvolt/internal/trace"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// Campaign is one (benchmark, core) cell of a characterization grid.
+type Campaign struct {
+	Spec *workload.Spec
+	Core int
+}
+
+// Grid expands the configuration's (benchmark, core) cross product in the
+// canonical order — benchmarks outer, cores inner — which is both the
+// order Framework.Execute walks and the order the Runner's output
+// preserves, so sequential and parallel raw logs are identical.
+func (c *Config) Grid() []Campaign {
+	out := make([]Campaign, 0, len(c.Benchmarks)*len(c.Cores))
+	for _, spec := range c.Benchmarks {
+		for _, core := range c.Cores {
+			out = append(out, Campaign{Spec: spec, Core: core})
+		}
+	}
+	return out
+}
+
+// Runner is the parallel campaign engine: it shards a configuration's
+// (benchmark, core) grid across a pool of workers, each driving its own
+// machine and external watchdog, so no lock is shared on the simulated
+// SLIMpro path. Campaign outcomes are deterministic regardless of worker
+// count or scheduling because every campaign seeds its own RNG stream
+// from CampaignSeed — the Runner's output is bit-identical to a
+// sequential Framework.Execute over the same Config.
+//
+// A Runner is safe for concurrent Execute calls; each call spins up its
+// own worker pool over fresh machines.
+type Runner struct {
+	newMachine  func() *xgene.Machine
+	parallelism int
+
+	log     *trace.Log
+	reg     *obs.Registry
+	metrics runnerMetrics
+
+	mu         sync.Mutex
+	recoveries int
+}
+
+// runnerMetrics are the worker pool's exported instruments; all fields
+// are nil (inert) until SetMetrics attaches a registry.
+type runnerMetrics struct {
+	workers *obs.Gauge        // current pool size
+	busy    *obs.Gauge        // workers running a campaign right now
+	queued  *obs.Gauge        // campaigns accepted but not yet started
+	done    *obs.Counter      // campaigns completed by the engine
+	latency *obs.HistogramVec // campaign wall time, by worker index
+}
+
+// NewRunner builds an engine over a machine factory: each worker calls
+// newMachine once to obtain its private board (use xgene.Machine.Clone to
+// replicate a configured prototype).
+func NewRunner(newMachine func() *xgene.Machine) *Runner {
+	return &Runner{newMachine: newMachine}
+}
+
+// SetParallelism fixes the worker count. Zero or negative (the default)
+// means GOMAXPROCS; 1 degenerates to a sequential engine with identical
+// results.
+func (r *Runner) SetParallelism(n int) { r.parallelism = n }
+
+// Parallelism returns the effective worker count for a grid of n
+// campaigns.
+func (r *Runner) workerCount(n int) int {
+	w := r.parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// SetMetrics registers the engine's worker-pool telemetry on reg — pool
+// size, busy workers, queued campaigns, completed campaigns and the
+// per-worker campaign latency histogram — and attaches the same registry
+// to every worker's framework and watchdog (the per-run instruments are
+// shared get-or-create families, so all workers fold into one exposition).
+func (r *Runner) SetMetrics(reg *obs.Registry) {
+	r.reg = reg
+	r.metrics = runnerMetrics{
+		workers: reg.Gauge("xvolt_runner_workers",
+			"Campaign-engine worker pool size across active Execute calls."),
+		busy: reg.Gauge("xvolt_runner_busy_workers",
+			"Workers currently executing a campaign."),
+		queued: reg.Gauge("xvolt_runner_queued_campaigns",
+			"Campaigns accepted by the engine but not yet started."),
+		done: reg.Counter("xvolt_runner_campaigns_done_total",
+			"Campaigns the engine completed."),
+		latency: reg.HistogramVec("xvolt_runner_campaign_seconds",
+			"Campaign wall time per (benchmark, core) sweep, by worker index.", nil, "worker"),
+	}
+}
+
+// SetTrace attaches a shared structured event log. The log is
+// concurrency-safe; events from different workers interleave in
+// completion order (telemetry, unlike results, is not deterministic).
+func (r *Runner) SetTrace(l *trace.Log) { r.log = l }
+
+// Trace returns the attached event log (nil if none).
+func (r *Runner) Trace() *trace.Log { return r.log }
+
+// Recoveries sums the watchdog power cycles across all workers of all
+// completed Execute calls.
+func (r *Runner) Recoveries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recoveries
+}
+
+// Execute runs the execution phase for the whole configuration grid in
+// parallel and returns the raw per-run records in the canonical grid
+// order — the same stream Framework.Execute produces.
+func (r *Runner) Execute(cfg Config) ([]RunRecord, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return r.executeGrid(cfg, cfg.Grid())
+}
+
+// ExecuteCampaigns runs an explicit campaign list instead of the full
+// cross product — for studies that pin one benchmark per core (the §5
+// workload of Figure 9). cfg supplies the sweep bounds, frequency, runs
+// and seed; records come back in list order.
+func (r *Runner) ExecuteCampaigns(cfg Config, grid []Campaign) ([]RunRecord, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		if c.Spec == nil {
+			return nil, fmt.Errorf("core: campaign %d has no benchmark", i)
+		}
+		if c.Core < 0 || c.Core >= silicon.NumCores {
+			return nil, fmt.Errorf("core: campaign %d core %d out of range", i, c.Core)
+		}
+	}
+	return r.executeGrid(cfg, grid)
+}
+
+// Characterize runs Execute and the parsing phase end to end.
+func (r *Runner) Characterize(cfg Config) ([]*CampaignResult, error) {
+	recs, err := r.Execute(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(recs), nil
+}
+
+// executeGrid is the worker pool. Results land in a per-campaign slot
+// table indexed by grid position, so assembly order never depends on
+// which worker finished first.
+func (r *Runner) executeGrid(cfg Config, grid []Campaign) ([]RunRecord, error) {
+	if len(grid) == 0 {
+		return nil, nil
+	}
+	if r.newMachine == nil {
+		return nil, errors.New("core: runner has no machine factory")
+	}
+	if r.reg != nil && r.log != nil {
+		r.log.SetMetrics(r.reg)
+	}
+	workers := r.workerCount(len(grid))
+	r.metrics.workers.Add(float64(workers))
+	defer r.metrics.workers.Add(-float64(workers))
+	r.metrics.queued.Add(float64(len(grid)))
+
+	jobs := make(chan int)
+	out := make([][]RunRecord, len(grid))
+	errs := make([]error, len(grid))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			fw := New(r.newMachine())
+			if r.reg != nil {
+				fw.SetMetrics(r.reg)
+			}
+			fw.log = r.log
+			fw.ensureAlive()
+			fw.machine.StabilizeTemperature(cfg.TargetTemperature)
+			label := strconv.Itoa(worker)
+			for idx := range jobs {
+				r.metrics.queued.Dec()
+				if failed.Load() {
+					continue // drain; a doomed study stops scheduling work
+				}
+				camp := grid[idx]
+				r.metrics.busy.Inc()
+				span := obs.StartSpan(r.metrics.latency.With(label))
+				fw.rng = fw.campaignRand(camp.Spec, camp.Core, &cfg)
+				recs, err := fw.runCampaign(camp.Spec, camp.Core, &cfg)
+				span.End()
+				r.metrics.busy.Dec()
+				if err != nil {
+					errs[idx] = err
+					failed.Store(true)
+					continue
+				}
+				out[idx] = recs
+				r.metrics.done.Inc()
+			}
+			r.mu.Lock()
+			r.recoveries += fw.Watchdog().Recoveries()
+			r.mu.Unlock()
+		}(w)
+	}
+	for i := range grid {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := 0
+	for _, recs := range out {
+		n += len(recs)
+	}
+	all := make([]RunRecord, 0, n)
+	for _, recs := range out {
+		all = append(all, recs...)
+	}
+	return all, nil
+}

@@ -28,6 +28,11 @@ type Options struct {
 	Runs int
 	// Seed drives all the frameworks' RNG streams.
 	Seed int64
+	// Parallelism is the campaign-engine worker count: 0 (the default)
+	// uses GOMAXPROCS, 1 forces a single worker. Results are identical at
+	// any setting — every campaign draws from its own seed-derived RNG
+	// stream (core.CampaignSeed) — so this only trades wall clock.
+	Parallelism int
 }
 
 // Paper returns the paper-fidelity options.
@@ -41,6 +46,14 @@ func (o Options) normalize() Options {
 		o.Runs = 1
 	}
 	return o
+}
+
+// runner builds a campaign engine whose workers each get a private board
+// from the factory, at the options' parallelism.
+func (o Options) runner(newMachine func() *xgene.Machine) *core.Runner {
+	r := core.NewRunner(newMachine)
+	r.SetParallelism(o.Parallelism)
+	return r
 }
 
 // CoreResult holds one (chip, benchmark, core) characterization summary.
@@ -75,11 +88,12 @@ func Figure4(opt Options) (*Fig4Result, error) {
 	}
 	allCores := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	for _, chip := range silicon.PaperChips() {
-		fw := core.New(xgene.New(chip))
+		chip := chip
+		r := opt.runner(func() *xgene.Machine { return xgene.New(chip) })
 		cfg := core.DefaultConfig(workload.PrimarySuite(), allCores)
 		cfg.Runs = opt.Runs
 		cfg.Seed = opt.Seed
-		results, err := fw.Characterize(cfg)
+		results, err := r.Characterize(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +223,7 @@ type Fig5Result struct {
 // the severity-per-voltage matrix.
 func Figure5(opt Options) (*Fig5Result, error) {
 	opt = opt.normalize()
-	fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+	r := opt.runner(func() *xgene.Machine { return xgene.New(silicon.NewChip(silicon.TTT, 1)) })
 	spec, err := workload.Lookup("bwaves/ref")
 	if err != nil {
 		return nil, err
@@ -217,7 +231,7 @@ func Figure5(opt Options) (*Fig5Result, error) {
 	cfg := core.DefaultConfig([]*workload.Spec{spec}, []int{0, 1, 2, 3, 4, 5, 6, 7})
 	cfg.Runs = opt.Runs
 	cfg.Seed = opt.Seed
-	results, err := fw.Characterize(cfg)
+	results, err := r.Characterize(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +246,12 @@ func Figure5(opt Options) (*Fig5Result, error) {
 		res.Voltages = append(res.Voltages, v)
 	}
 	sort.Slice(res.Voltages, func(a, b int) bool { return res.Voltages[a] > res.Voltages[b] })
+	// Voltage → row index, so filling the matrix is O(steps) instead of the
+	// old O(steps × voltages) scan per record.
+	idx := make(map[units.MilliVolts]int, len(res.Voltages))
+	for i, v := range res.Voltages {
+		idx[v] = i
+	}
 	for coreID := 0; coreID < silicon.NumCores; coreID++ {
 		res.Severity[coreID] = make([]float64, len(res.Voltages))
 		for i := range res.Severity[coreID] {
@@ -240,11 +260,7 @@ func Figure5(opt Options) (*Fig5Result, error) {
 	}
 	for _, c := range results {
 		for _, s := range c.Steps {
-			for i, v := range res.Voltages {
-				if v == s.Voltage {
-					res.Severity[c.Core][i] = s.Severity(core.PaperWeights)
-				}
-			}
+			res.Severity[c.Core][idx[s.Voltage]] = s.Severity(core.PaperWeights)
 		}
 	}
 	return res, nil
@@ -262,11 +278,11 @@ type PredictionResult struct {
 // and evaluate the three cases.
 func Prediction(opt Options) (*PredictionResult, error) {
 	opt = opt.normalize()
-	fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+	r := opt.runner(func() *xgene.Machine { return xgene.New(silicon.NewChip(silicon.TTT, 1)) })
 	cfg := core.DefaultConfig(workload.PredictionSuite(), []int{0, 4})
 	cfg.Runs = opt.Runs
 	cfg.Seed = opt.Seed
-	results, err := fw.Characterize(cfg)
+	results, err := r.Characterize(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -315,27 +331,47 @@ func Figure9(opt Options) (*Fig9Result, error) {
 	opt = opt.normalize()
 	names := []string{"bwaves", "cactusADM", "dealII", "gromacs", "leslie3d", "mcf", "milc", "namd"}
 	res := &Fig9Result{}
-	fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+	r := opt.runner(func() *xgene.Machine { return xgene.New(silicon.NewChip(silicon.TTT, 1)) })
 
-	vmins := map[int]units.MilliVolts{}
+	// One benchmark pinned per core: an explicit campaign list rather than
+	// the full cross product. CampaignSeed keys each sweep's RNG stream on
+	// its own (benchmark, core) pair, so a single plain seed replaces the
+	// old per-core seed offsets.
+	grid := make([]core.Campaign, len(names))
+	specs := make([]*workload.Spec, len(names))
+	cores := make([]int, len(names))
 	for coreID, name := range names {
 		spec, err := workload.LookupName(name)
 		if err != nil {
 			return nil, err
 		}
 		res.Assignment[coreID] = name
-		cfg := core.DefaultConfig([]*workload.Spec{spec}, []int{coreID})
-		cfg.Runs = opt.Runs
-		cfg.Seed = opt.Seed + int64(coreID)
-		results, err := fw.Characterize(cfg)
-		if err != nil {
-			return nil, err
+		grid[coreID] = core.Campaign{Spec: spec, Core: coreID}
+		specs[coreID] = spec
+		cores[coreID] = coreID
+	}
+	cfg := core.DefaultConfig(specs, cores)
+	cfg.Runs = opt.Runs
+	cfg.Seed = opt.Seed
+	recs, err := r.ExecuteCampaigns(cfg, grid)
+	if err != nil {
+		return nil, err
+	}
+	results := core.Parse(recs)
+
+	vmins := map[int]units.MilliVolts{}
+	for _, c := range results {
+		if c.Benchmark != res.Assignment[c.Core] {
+			continue // cross product residue cannot occur, but stay strict
 		}
-		v, ok := results[0].SafeVmin()
-		if !ok {
+		if v, ok := c.SafeVmin(); ok {
+			vmins[c.Core] = v
+		}
+	}
+	for coreID, name := range names {
+		if _, ok := vmins[coreID]; !ok {
 			return nil, fmt.Errorf("experiments: no Vmin for %s on core %d", name, coreID)
 		}
-		vmins[coreID] = v
 	}
 	res.Requirements = energy.RequirementsFromVmins(vmins, 760)
 	pts, err := energy.TradeoffCurve(res.Requirements)
@@ -385,7 +421,7 @@ type HalfSpeedResult struct {
 // HalfSpeed characterizes one benchmark per core at 1.2 GHz on TTT.
 func HalfSpeed(opt Options) (*HalfSpeedResult, error) {
 	opt = opt.normalize()
-	fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
+	r := opt.runner(func() *xgene.Machine { return xgene.New(silicon.NewChip(silicon.TTT, 1)) })
 	spec, err := workload.Lookup("mcf/ref")
 	if err != nil {
 		return nil, err
@@ -396,7 +432,7 @@ func HalfSpeed(opt Options) (*HalfSpeedResult, error) {
 	cfg.StopVoltage = 740
 	cfg.Runs = opt.Runs
 	cfg.Seed = opt.Seed
-	results, err := fw.Characterize(cfg)
+	results, err := r.Characterize(cfg)
 	if err != nil {
 		return nil, err
 	}

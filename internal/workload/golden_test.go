@@ -71,3 +71,41 @@ func TestGoldensPinned(t *testing.T) {
 		}
 	}
 }
+
+// countedKernelCalls observes the cross-Spec golden cache: a fresh Spec
+// over an already-goldened (kernel, size) pair must not rerun the kernel.
+var countedKernelCalls int
+
+func countedKernel(size int, inj Injector) uint64 {
+	countedKernelCalls++
+	h := uint64(size)
+	for i := 0; i < 64; i++ {
+		h = inj.Word(fold(h, uint64(i)))
+	}
+	return h
+}
+
+func TestGoldenCacheSpansSpecs(t *testing.T) {
+	countedKernelCalls = 0
+	a := &Spec{Name: "cachetest", Input: "a", Size: 1000, Kernel: countedKernel}
+	b := &Spec{Name: "cachetest", Input: "b", Size: 1000, Kernel: countedKernel}
+	other := &Spec{Name: "cachetest", Input: "c", Size: 1001, Kernel: countedKernel}
+
+	if a.Golden() != b.Golden() {
+		t.Fatal("same (kernel, size) produced different goldens")
+	}
+	if countedKernelCalls != 1 {
+		t.Errorf("kernel ran %d times for a shared (kernel, size), want 1", countedKernelCalls)
+	}
+	if other.Golden() == a.Golden() {
+		t.Error("different size hit the same cache entry")
+	}
+	if countedKernelCalls != 2 {
+		t.Errorf("kernel ran %d times after a distinct size, want 2", countedKernelCalls)
+	}
+	// Repeated calls on the same Spec stay cached via the once.
+	a.Golden()
+	if countedKernelCalls != 2 {
+		t.Errorf("kernel reran on a cached Spec (%d calls)", countedKernelCalls)
+	}
+}

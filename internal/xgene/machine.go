@@ -125,6 +125,27 @@ func (m *Machine) powerOnLocked() {
 // Chip exposes the underlying die (for tests and reports).
 func (m *Machine) Chip() *silicon.Chip { return m.chip }
 
+// Model returns the failure model the machine samples runs from.
+func (m *Machine) Model() silicon.Model { return m.model }
+
+// Clone fabricates a fresh board around the same die, failure model and
+// configuration knobs (protection, per-PMD rails, DRAM refresh). The
+// clone boots independently at nominal settings with its own EDAC driver
+// and console — the parallel campaign engine hands each worker a clone so
+// no lock is contended on the simulated SLIMpro path. The die itself is
+// shared: a Chip is immutable after fabrication.
+func (m *Machine) Clone() *Machine {
+	m.mu.Lock()
+	chip, model := m.chip, m.model
+	prot, rails, refresh := m.protection, m.perPMDRails, m.dramRefresh
+	m.mu.Unlock()
+	c := NewWithModel(chip, model)
+	c.protection = prot
+	c.perPMDRails = rails
+	c.dramRefresh = refresh
+	return c
+}
+
 // Params returns the board's Table 2 parameters.
 func (m *Machine) Params() Params { return m.params }
 
