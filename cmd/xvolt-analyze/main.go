@@ -39,7 +39,7 @@ func run(out io.Writer, paths []string) error {
 			return err
 		}
 		results, err := csvutil.ReadCampaigns(f)
-		f.Close()
+		_ = f.Close() // read-only; close failures cannot lose data
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

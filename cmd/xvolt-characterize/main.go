@@ -143,18 +143,18 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 	if err != nil {
 		return err
 	}
-	defer closeOut()
 	if err := csvutil.WriteCampaigns(out, results, core.PaperWeights); err != nil {
+		_ = closeOut() // the write error is the one worth surfacing
+		return err
+	}
+	if err := closeOut(); err != nil {
 		return err
 	}
 
 	if rawPath != "" {
-		rf, err := os.Create(rawPath)
-		if err != nil {
-			return err
-		}
-		defer rf.Close()
-		if err := csvutil.WriteRaw(rf, records); err != nil {
+		if err := writeFile(rawPath, func(w io.Writer) error {
+			return csvutil.WriteRaw(w, records)
+		}); err != nil {
 			return err
 		}
 	}
@@ -169,8 +169,25 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 	return nil
 }
 
+// writeFile creates path, streams write into it, and closes it — the
+// close error is reported (a short write on a full disk often only
+// surfaces at Close) unless the write itself already failed.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // openTraceSink opens the JSONL trace stream ('-' means stderr, keeping
-// stdout free for the results CSV).
+// stdout free for the results CSV). The returned closer surfaces close
+// errors on stderr: trace output is durable campaign data, and a failed
+// close means truncated JSONL.
 func openTraceSink(path string) (*trace.JSONLSink, func(), error) {
 	if path == "-" {
 		return trace.NewJSONLSink(os.Stderr), func() {}, nil
@@ -179,7 +196,11 @@ func openTraceSink(path string) (*trace.JSONLSink, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return trace.NewJSONLSink(f), func() { f.Close() }, nil
+	return trace.NewJSONLSink(f), func() {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xvolt-characterize: closing %s: %v\n", path, err)
+		}
+	}, nil
 }
 
 // execute runs the sweep, optionally resuming from / persisting to a
@@ -191,7 +212,7 @@ func execute(fw *core.Framework, cfg core.Config, ckptPath string) ([]core.RunRe
 	ckpt := core.NewCheckpoint()
 	if f, err := os.Open(ckptPath); err == nil {
 		loaded, lerr := core.LoadCheckpoint(f)
-		f.Close()
+		_ = f.Close() // read-only; close failures cannot lose data
 		if lerr != nil {
 			return nil, lerr
 		}
@@ -202,12 +223,9 @@ func execute(fw *core.Framework, cfg core.Config, ckptPath string) ([]core.RunRe
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Create(ckptPath)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if err := ckpt.Save(f); err != nil {
+	// A checkpoint truncated by an unnoticed close failure would silently
+	// restart completed sweeps on the next resume.
+	if err := writeFile(ckptPath, ckpt.Save); err != nil {
 		return nil, err
 	}
 	return records, nil
@@ -267,13 +285,13 @@ func parseCores(list string) ([]int, error) {
 	return out, nil
 }
 
-func openOut(path string) (io.Writer, func(), error) {
+func openOut(path string) (io.Writer, func() error, error) {
 	if path == "-" {
-		return os.Stdout, func() {}, nil
+		return os.Stdout, func() error { return nil }, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	return f, f.Close, nil
 }

@@ -52,8 +52,8 @@ func obtainBank(machine *xgene.Machine, runs int, seed int64, savePath, loadPath
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
 		bank, err := predict.LoadBank(f)
+		_ = f.Close() // read-only; close failures cannot lose data
 		if err != nil {
 			return nil, err
 		}
@@ -86,9 +86,13 @@ func obtainBank(machine *xgene.Machine, runs int, seed int64, savePath, loadPath
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		if err := bank.Save(f); err != nil {
-			return nil, err
+		serr := bank.Save(f)
+		if cerr := f.Close(); serr == nil {
+			// A close failure here is a truncated model bank on disk.
+			serr = cerr
+		}
+		if serr != nil {
+			return nil, serr
 		}
 		fmt.Printf("saved model bank to %s\n", savePath)
 	}

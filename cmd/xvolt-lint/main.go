@@ -1,0 +1,97 @@
+// Command xvolt-lint runs the determinism & invariant analyzer suite
+// over the repository, with go vet exit-code semantics: findings print
+// as `file:line: [analyzer] message` and exit with status 1, internal
+// errors exit 2, a clean tree exits 0.
+//
+// Usage:
+//
+//	go run ./cmd/xvolt-lint ./...
+//	go run ./cmd/xvolt-lint -json ./... | jq .analyzer
+//
+// Suppressions (`//xvolt:lint-ignore <analyzer> <reason>`) are audited:
+// every suppression is reported to stderr, and a pragma that suppresses
+// nothing is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xvolt/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of text")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(os.Stdout, os.Stderr, *jsonOut, patterns))
+}
+
+// jsonFinding is the -json line schema, stable for downstream obs/trace
+// tooling.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func run(out, errw io.Writer, jsonOut bool, patterns []string) int {
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(errw, "xvolt-lint:", err)
+		return 2
+	}
+	res, err := lint.Run(prog, lint.Suite(lint.DefaultConfig()))
+	if err != nil {
+		fmt.Fprintln(errw, "xvolt-lint:", err)
+		return 2
+	}
+	return report(out, errw, jsonOut, res)
+}
+
+// report renders a result and returns the process exit code.
+func report(out, errw io.Writer, jsonOut bool, res *lint.Result) int {
+	// Unused pragmas are findings: a suppression that suppresses nothing
+	// is stale and hides the next real violation at that site.
+	active := append(res.Findings, res.UnusedPragmas...)
+
+	enc := json.NewEncoder(out)
+	emit := func(f lint.Finding) {
+		if jsonOut {
+			_ = enc.Encode(jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Analyzer: f.Analyzer, Message: f.Message,
+				Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+			return
+		}
+		fmt.Fprintln(out, f)
+	}
+	for _, f := range active {
+		emit(f)
+	}
+	for _, f := range res.Suppressed {
+		if jsonOut {
+			emit(f)
+		} else {
+			fmt.Fprintf(errw, "suppressed: %s (reason: %s)\n", f, f.Reason)
+		}
+	}
+	if n := len(res.Suppressed); n > 0 {
+		fmt.Fprintf(errw, "xvolt-lint: %d finding(s) suppressed by pragmas\n", n)
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(errw, "xvolt-lint: %d finding(s)\n", len(active))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"xvolt/internal/lint"
+)
+
+// sample builds a synthetic result: one active finding, one unused
+// pragma, one suppressed finding.
+func sample() *lint.Result {
+	pos := func(file string, line int) token.Position {
+		return token.Position{Filename: file, Line: line}
+	}
+	return &lint.Result{
+		Findings: []lint.Finding{{
+			Pos: pos("a.go", 12), Analyzer: "detrand",
+			Message: "time.Now in deterministic package",
+		}},
+		Suppressed: []lint.Finding{{
+			Pos: pos("b.go", 7), Analyzer: "errclose",
+			Message: "error from os.File.Close discarded",
+			Reason:  "demo", Suppressed: true,
+		}},
+		UnusedPragmas: []lint.Finding{{
+			Pos: pos("c.go", 3), Analyzer: "pragma",
+			Message: "lint-ignore pragma for maporder suppresses nothing; remove it",
+		}},
+	}
+}
+
+func TestReportText(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := report(&out, &errw, false, sample()); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	wantLines := []string{
+		"a.go:12: [detrand] time.Now in deterministic package",
+		"c.go:3: [pragma] lint-ignore pragma for maporder suppresses nothing; remove it",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out.String(), w) {
+			t.Errorf("stdout missing %q:\n%s", w, out.String())
+		}
+	}
+	if !strings.Contains(errw.String(), "1 finding(s) suppressed by pragmas") {
+		t.Errorf("stderr missing suppression audit:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "reason: demo") {
+		t.Errorf("stderr missing suppression reason:\n%s", errw.String())
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := report(&out, &errw, true, sample()); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var lines []jsonFinding
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var f jsonFinding
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("bad JSON line: %v", err)
+		}
+		lines = append(lines, f)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSON findings, want 3 (active + unused pragma + suppressed)", len(lines))
+	}
+	if lines[0].File != "a.go" || lines[0].Line != 12 || lines[0].Analyzer != "detrand" {
+		t.Errorf("first finding = %+v", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if !last.Suppressed || last.Reason != "demo" {
+		t.Errorf("suppressed finding not audited in JSON: %+v", last)
+	}
+}
+
+func TestReportCleanExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := report(&out, &errw, false, &lint.Result{}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestLintSelf runs the real driver end to end over this command's own
+// package — a load + suite smoke test with go vet exit semantics.
+func TestLintSelf(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, false, []string{"xvolt/cmd/xvolt-lint"}); code != 0 {
+		t.Fatalf("xvolt-lint on itself: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}

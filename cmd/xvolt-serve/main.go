@@ -123,7 +123,9 @@ func openTraceSink(path string) (*trace.JSONLSink, func(), error) {
 		if err := sink.Err(); err != nil {
 			log.Printf("trace sink: %v", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Printf("closing trace sink %s: %v", path, err)
+		}
 	}, nil
 }
 

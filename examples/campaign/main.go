@@ -46,9 +46,12 @@ func characterizeChip(chip *silicon.Chip) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := csvutil.WriteCampaigns(f, results, core.PaperWeights); err != nil {
-		return err
+	werr := csvutil.WriteCampaigns(f, results, core.PaperWeights)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr // a failed close truncates the CSV
+	}
+	if werr != nil {
+		return werr
 	}
 
 	// §3.2 reduction: most robust core per benchmark → guardband summary.

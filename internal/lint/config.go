@@ -1,0 +1,80 @@
+// Suite configuration: which packages the determinism rules govern and
+// which uses are allowlisted. The defaults encode xvolt's invariants;
+// fixture tests construct configs pointing at testdata packages.
+
+package lint
+
+// Config parameterizes the project-specific analyzers.
+type Config struct {
+	// DeterministicPkgs are import paths whose outputs must be pure
+	// functions of (Config, CampaignSeed): no wall clock, no global
+	// rand. The campaign engine's sequential ≡ parallel guarantee rests
+	// on these.
+	DeterministicPkgs []string
+	// DetrandAllow maps a package path to qualified symbols ("time.Now")
+	// it may use even though it is deterministic-scoped. The single
+	// entry in the default config is obs span timing, which routes
+	// through the injectable `now` hook.
+	DetrandAllow map[string][]string
+	// SeedflowPkgs are packages in which every rand.NewSource argument
+	// must trace back to a seed source.
+	SeedflowPkgs []string
+	// SeedSources are qualified function names ("pkgpath.Func") whose
+	// results count as derived campaign seeds.
+	SeedSources []string
+}
+
+// DefaultConfig returns the xvolt invariants.
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{
+			"xvolt/internal/core",
+			"xvolt/internal/silicon",
+			"xvolt/internal/workload",
+			"xvolt/internal/experiments",
+			"xvolt/internal/predict",
+			"xvolt/internal/counters",
+			"xvolt/internal/energy",
+			"xvolt/internal/sched",
+			// obs is scoped so span timing stays visible to the rule …
+			"xvolt/internal/obs",
+		},
+		// … and exempted only through this allowlist: the one permitted
+		// wall-clock reference is the default of obs's injectable `now`
+		// hook. Anything else in obs (or a second time.Now creeping in
+		// elsewhere) still fails the build.
+		DetrandAllow: map[string][]string{
+			"xvolt/internal/obs": {"time.Now"},
+		},
+		SeedflowPkgs: []string{
+			"xvolt/internal/core",
+			"xvolt/internal/experiments",
+		},
+		SeedSources: []string{
+			"xvolt/internal/core.CampaignSeed",
+			"xvolt/internal/core.splitmix64",
+		},
+	}
+}
+
+// Suite builds the full analyzer suite for a config.
+func Suite(cfg Config) []*Analyzer {
+	return []*Analyzer{
+		NewDetrand(cfg),
+		NewSeedflow(cfg),
+		NewMaporder(),
+		NewClonecheck(),
+		NewErrclose(),
+	}
+}
+
+// pkgSet answers membership for a path list.
+type pkgSet map[string]bool
+
+func newPkgSet(paths []string) pkgSet {
+	s := pkgSet{}
+	for _, p := range paths {
+		s[p] = true
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+// errclose: a discarded error from Close/Flush/Sync/Write on a file,
+// CSV emitter, buffered writer or trace sink is a silently truncated
+// checkpoint or result file — the study looks complete and is not. The
+// error must be checked, or visibly discarded with `_ =` where the
+// close genuinely cannot matter (read-only files at end of use).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcloseMethods are the flagged method names.
+var errcloseMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Write": true,
+}
+
+// errcloseStdReceivers are standard-library receiver types whose
+// flagged methods guard durable output.
+var errcloseStdReceivers = map[string]bool{
+	"os.File":              true,
+	"encoding/csv.Writer":  true,
+	"bufio.Writer":         true,
+	"compress/gzip.Writer": true,
+}
+
+// NewErrclose builds the errclose analyzer.
+func NewErrclose() *Analyzer {
+	a := &Analyzer{
+		Name: "errclose",
+		Doc:  "flag discarded errors from Close/Flush/Sync/Write on durable outputs",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					checkErrclose(pass, n.X, "discarded")
+				case *ast.DeferStmt:
+					checkErrclose(pass, n.Call, "discarded by defer (close explicitly and check, or wrap in a func that records it)")
+				case *ast.GoStmt:
+					checkErrclose(pass, n.Call, "discarded by go statement")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkErrclose flags e when it is a durable-output method call whose
+// error result is dropped.
+func checkErrclose(pass *Pass, e ast.Expr, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errcloseMethods[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || !lastResultIsError(sig) {
+		return
+	}
+	if !durableReceiver(pass, sig.Recv().Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s %s", recvTypeName(sig)+"."+sel.Sel.Name, how)
+}
+
+// lastResultIsError reports whether the signature's final result is error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// durableReceiver reports whether a receiver type's writes must not be
+// dropped: the known std writer types, every interface (io.Closer,
+// io.Writer, trace.Sink — the concrete value could be durable), and any
+// module-declared type (our sinks, checkpoint writers and emitters).
+// strings.Builder / bytes.Buffer style never-fail writers stay exempt.
+func durableReceiver(pass *Pass, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	if errcloseStdReceivers[path+"."+named.Obj().Name()] {
+		return true
+	}
+	if pass.prog.byPath[path] != nil {
+		// Module-declared writer types: sinks and emitters by
+		// convention carry Sink/Writer/Log in the name; other module
+		// types with an incidental Write method are not durable outputs.
+		name := named.Obj().Name()
+		return strings.HasSuffix(name, "Sink") || strings.HasSuffix(name, "Writer") ||
+			strings.HasSuffix(name, "Log")
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden expect.txt files")
+
+// The shared load: the whole module plus the std packages fixtures
+// import, type-checked once per test binary. Doubles as a loader test —
+// it must resolve every real package from source and stdlib export data.
+var (
+	progOnce sync.Once
+	progVal  *Program
+	progErr  error
+	fixtures = map[string]*Package{}
+	fixMu    sync.Mutex
+)
+
+func sharedProg(t *testing.T) *Program {
+	t.Helper()
+	progOnce.Do(func() {
+		progVal, progErr = Load("../..", "./...",
+			"bufio", "encoding/csv", "math/rand", "time", "os",
+			"strings", "sort", "fmt", "io", "sync")
+	})
+	if progErr != nil {
+		t.Fatalf("loading module: %v", progErr)
+	}
+	return progVal
+}
+
+// fixture loads one testdata package (once) into the shared program
+// under import path "fixture/<name>".
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	prog := sharedProg(t)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	path := "fixture/" + name
+	if p, ok := fixtures[path]; ok {
+		return p
+	}
+	dir := filepath.Join("testdata", "src", name)
+	p, err := prog.LoadExtra(path, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	fixtures[path] = p
+	return p
+}
+
+// runOn runs analyzers over the shared program and keeps only findings
+// located in the given fixture directory.
+func runOn(t *testing.T, dir string, analyzers ...*Analyzer) *Result {
+	t.Helper()
+	res, err := Run(sharedProg(t), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(fs []Finding) []Finding {
+		var out []Finding
+		for _, f := range fs {
+			if filepath.Dir(f.Pos.Filename) == dir {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	return &Result{
+		Findings:      filter(res.Findings),
+		Suppressed:    filter(res.Suppressed),
+		UnusedPragmas: filter(res.UnusedPragmas),
+	}
+}
+
+// render formats findings the way goldens store them: basename, line,
+// analyzer, message.
+func render(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	return b.String()
+}
+
+// checkGolden compares findings against testdata/src/<name>/expect.txt.
+func checkGolden(t *testing.T, name string, fs []Finding) {
+	t.Helper()
+	got := render(fs)
+	goldenPath := filepath.Join("testdata", "src", name, "expect.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestDetrandFixture(t *testing.T) {
+	fixture(t, "detrand")
+	cfg := Config{
+		DeterministicPkgs: []string{"fixture/detrand"},
+		DetrandAllow:      map[string][]string{"fixture/detrand": {"time.Until"}},
+	}
+	res := runOn(t, filepath.Join("testdata", "src", "detrand"), NewDetrand(cfg))
+	checkGolden(t, "detrand", res.Findings)
+	if len(res.Findings) == 0 {
+		t.Fatal("detrand found nothing: fixture has seeded violations")
+	}
+	for _, f := range res.Findings {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			t.Errorf("detrand flagged a test file: %s", f)
+		}
+		if strings.Contains(f.Message, "time.Until") {
+			t.Errorf("detrand flagged the allowlisted symbol: %s", f)
+		}
+	}
+}
+
+func TestSeedflowFixture(t *testing.T) {
+	// Dependency first: its seed-sink facts must be exported before the
+	// dependent fixture is analyzed.
+	fixture(t, "seedflowdep")
+	fixture(t, "seedflow")
+	cfg := Config{
+		SeedflowPkgs: []string{"fixture/seedflow", "fixture/seedflowdep"},
+	}
+	res := runOn(t, filepath.Join("testdata", "src", "seedflow"), NewSeedflow(cfg))
+	checkGolden(t, "seedflow", res.Findings)
+	var crossPkg bool
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "seedflowdep.NewRig") {
+			crossPkg = true
+		}
+	}
+	if !crossPkg {
+		t.Error("seedflow missed the literal flowing through the cross-package sink fact")
+	}
+}
+
+func TestMaporderFixture(t *testing.T) {
+	fixture(t, "maporder")
+	res := runOn(t, filepath.Join("testdata", "src", "maporder"), NewMaporder())
+	checkGolden(t, "maporder", res.Findings)
+}
+
+func TestClonecheckFixture(t *testing.T) {
+	fixture(t, "clonecheck")
+	res := runOn(t, filepath.Join("testdata", "src", "clonecheck"), NewClonecheck())
+	checkGolden(t, "clonecheck", res.Findings)
+}
+
+func TestErrcloseFixture(t *testing.T) {
+	fixture(t, "errclose")
+	res := runOn(t, filepath.Join("testdata", "src", "errclose"), NewErrclose())
+	checkGolden(t, "errclose", res.Findings)
+}
+
+func TestPragmaMachinery(t *testing.T) {
+	fixture(t, "pragma")
+	res := runOn(t, filepath.Join("testdata", "src", "pragma"), NewErrclose())
+
+	if n := len(res.Suppressed); n != 2 {
+		t.Fatalf("suppressed = %d findings, want 2 (line-above and same-line pragmas):\n%s",
+			n, render(res.Suppressed))
+	}
+	for _, f := range res.Suppressed {
+		if f.Reason == "" {
+			t.Errorf("suppressed finding lost its pragma reason: %s", f)
+		}
+	}
+
+	var sawMalformed, sawUncovered bool
+	for _, f := range res.Findings {
+		if f.Analyzer == "pragma" && strings.Contains(f.Message, "malformed") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "errclose" {
+			sawUncovered = true
+		}
+	}
+	if !sawMalformed {
+		t.Error("reasonless pragma was not reported as malformed")
+	}
+	if !sawUncovered {
+		t.Error("the finding under the malformed pragma was wrongly suppressed")
+	}
+
+	if n := len(res.UnusedPragmas); n != 1 {
+		t.Errorf("unused pragmas = %d, want 1 (the stale maporder ignore):\n%s",
+			n, render(res.UnusedPragmas))
+	}
+}
+
+// TestRepoClean is the invariant the suite exists to hold: the real
+// tree (fixtures excluded) has zero findings, zero suppressions and
+// zero stale pragmas under the default config.
+func TestRepoClean(t *testing.T) {
+	res, err := Run(sharedProg(t), Suite(DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := func(fs []Finding) []Finding {
+		var out []Finding
+		for _, f := range fs {
+			if !strings.Contains(f.Pos.Filename, string(filepath.Separator)+"testdata"+string(filepath.Separator)) &&
+				!strings.HasPrefix(f.Pos.Filename, "testdata"+string(filepath.Separator)) {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	if fs := real(res.Findings); len(fs) > 0 {
+		t.Errorf("repository is not lint-clean:\n%s", render(fs))
+	}
+	if fs := real(res.Suppressed); len(fs) > 0 {
+		t.Errorf("repository carries pragma suppressions that should be fixes:\n%s", render(fs))
+	}
+	if fs := real(res.UnusedPragmas); len(fs) > 0 {
+		t.Errorf("repository carries stale pragmas:\n%s", render(fs))
+	}
+}

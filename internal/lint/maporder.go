@@ -1,0 +1,171 @@
+// maporder: ranging over a map while writing ordered output (CSV rows,
+// Prometheus exposition, JSONL events, joined strings) emits rows in Go's
+// randomized map order — the classic way golden checksums break only
+// sometimes. The fix is always the same: collect the keys, sort them,
+// range over the sorted slice.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporderWriteMethods are method names that commit bytes to an ordered
+// destination when invoked inside a map range.
+var maporderWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteAll": true, "Encode": true,
+}
+
+// maporderBenignWriters are receiver types whose writes are reordered or
+// rebuilt later rather than streamed (none currently; kept as the
+// extension point).
+var maporderBenignWriters = map[string]bool{}
+
+// NewMaporder builds the maporder analyzer.
+func NewMaporder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iteration that feeds ordered output without sorting keys",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkMaporder(pass, fn.Body)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkMaporder(pass *Pass, body *ast.BlockStmt) {
+	// Flow-insensitive per-function context: which slices are sorted and
+	// which are joined anywhere in this function.
+	sorted := map[types.Object]bool{}
+	joined := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.Info, call)
+		if obj == nil || obj.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		argObj := identObj(pass.Info, call.Args[0])
+		if argObj == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+			if strings.HasPrefix(obj.Name(), "Sort") || obj.Name() == "Strings" ||
+				obj.Name() == "Ints" || obj.Name() == "Float64s" ||
+				obj.Name() == "Slice" || obj.Name() == "SliceStable" ||
+				obj.Name() == "Stable" {
+				sorted[argObj] = true
+			}
+		case "strings":
+			if obj.Name() == "Join" {
+				joined[argObj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if why := orderedOutputIn(pass, rng.Body, sorted, joined); why != "" {
+			pass.Reportf(rng.Pos(),
+				"iterates over a map in randomized order while %s; collect the keys, sort them, then range over the sorted slice",
+				why)
+		}
+		return true
+	})
+}
+
+// orderedOutputIn scans a map-range body for writes to ordered
+// destinations; it returns a description of the first one, or "".
+func orderedOutputIn(pass *Pass, body *ast.BlockStmt, sorted, joined map[types.Object]bool) string {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(s, ...) where s is later strings.Join-ed and never
+		// sorted: the join bakes map order into the output.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if obj := identObj(pass.Info, call.Args[0]); obj != nil && joined[obj] && !sorted[obj] {
+				why = "appending to a slice that is joined into ordered output"
+			}
+			return true
+		}
+		obj := calleeObj(pass.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(obj.Name(), "Fprint") || strings.HasPrefix(obj.Name(), "Print")) {
+			why = "printing through fmt"
+			return true
+		}
+		if fn, ok := obj.(*types.Func); ok && maporderWriteMethods[obj.Name()] {
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() != nil && !maporderBenignWriters[recvTypeName(sig)] {
+				why = "calling " + obj.Name() + " on an ordered writer"
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// identObj resolves an expression to its object when it is a plain
+// identifier (possibly parenthesized or address-taken).
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.ParenExpr:
+		return identObj(info, e.X)
+	case *ast.UnaryExpr:
+		return identObj(info, e.X)
+	}
+	return nil
+}
+
+// recvTypeName renders a method receiver's named type as "pkg.Type".
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}

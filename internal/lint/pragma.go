@@ -1,0 +1,100 @@
+// Suppression pragmas. `//xvolt:lint-ignore <analyzer> <reason>` on the
+// finding's own line, or alone on the line above, silences findings of
+// that analyzer there. Suppressions are audited: every one is counted
+// and reported, a pragma without a reason is itself a finding, and a
+// pragma that suppresses nothing is reported as unused.
+
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix is the comment marker (after "//").
+const pragmaPrefix = "xvolt:lint-ignore"
+
+// pragma is one parsed lint-ignore directive.
+type pragma struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// pragmaSet indexes pragmas by file and line.
+type pragmaSet struct {
+	byFileLine map[string]map[int][]*pragma
+	all        []*pragma
+}
+
+// collectPragmas scans every file's comments. Malformed directives are
+// returned as findings of the pseudo-analyzer "pragma".
+func collectPragmas(prog *Program) (*pragmaSet, []Finding) {
+	set := &pragmaSet{byFileLine: map[string]map[int][]*pragma{}}
+	var malformed []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, pragmaPrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, pragmaPrefix))
+					analyzer, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if analyzer == "" || reason == "" {
+						malformed = append(malformed, Finding{
+							Pos:      pos,
+							Analyzer: "pragma",
+							Message:  "malformed lint-ignore pragma: want //xvolt:lint-ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					p := &pragma{pos: pos, analyzer: analyzer, reason: reason}
+					lines := set.byFileLine[pos.Filename]
+					if lines == nil {
+						lines = map[int][]*pragma{}
+						set.byFileLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], p)
+					set.all = append(set.all, p)
+				}
+			}
+		}
+	}
+	return set, malformed
+}
+
+// match returns the pragma suppressing f, if any: same analyzer, same
+// file, on f's line or the line directly above.
+func (s *pragmaSet) match(f Finding) *pragma {
+	lines := s.byFileLine[f.Pos.Filename]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, p := range lines[line] {
+			if p.analyzer == f.Analyzer {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// unused reports well-formed pragmas that never fired, as findings of
+// the pseudo-analyzer "pragma" (stale suppressions hide future bugs).
+func (s *pragmaSet) unused() []Finding {
+	var out []Finding
+	for _, p := range s.all {
+		if !p.used {
+			out = append(out, Finding{
+				Pos:      p.pos,
+				Analyzer: "pragma",
+				Message:  "lint-ignore pragma for " + p.analyzer + " suppresses nothing; remove it",
+			})
+		}
+	}
+	return out
+}

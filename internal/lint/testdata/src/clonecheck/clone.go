@@ -1,0 +1,49 @@
+// Fixture for the clonecheck analyzer: by-value copies of identity
+// types (mutex-holding, or defining a pointer-receiver Clone).
+package clonecheck
+
+import "sync"
+
+// Board holds a lock: copying it forks the lock state.
+type Board struct {
+	mu    sync.Mutex
+	volts int
+}
+
+// Clone is the sanctioned copy path.
+func (b *Board) Clone() *Board {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &Board{volts: b.volts}
+}
+
+// Rig embeds a Board by value, so it inherits protection transitively.
+type Rig struct {
+	board Board
+	name  string
+}
+
+// bad performs the copies clonecheck must flag.
+func bad(p *Board, rigs []Rig) {
+	shallow := *p // deref copy
+	_ = shallow
+	inspect(*p) // by-value call argument
+	for _, r := range rigs {
+		_ = r // range copies each Rig (holds a Board)
+	}
+}
+
+// inspect takes a Board by value: every call site copies the lock.
+func inspect(b Board) int { return b.volts }
+
+// good sticks to pointers and Clone.
+func good(p *Board) *Board {
+	alias := p // pointer copy is fine
+	_ = alias
+	fresh := p.Clone()
+	probe(fresh)
+	return fresh
+}
+
+// probe takes a pointer: no copy.
+func probe(b *Board) int { return b.volts }

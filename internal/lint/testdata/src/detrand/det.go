@@ -1,0 +1,26 @@
+// Fixture for the detrand analyzer: wall clocks and global math/rand in
+// a deterministic-scoped package.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: every line here must be flagged.
+func bad() (int, time.Time, time.Duration) {
+	n := rand.Intn(10)  // global source
+	f := rand.Float64() // global source
+	t := time.Now()     // wall clock
+	d := time.Since(t)  // wall clock
+	r := new(rand.Rand) // unseeded stream
+	_ = time.After(d)   // wall clock
+	return n + int(f) + r.Intn(2), t, d
+}
+
+// good uses only explicit, seeded streams and the allowlisted symbol.
+func good(seed int64, deadline time.Time) int {
+	rng := rand.New(rand.NewSource(seed))
+	_ = time.Until(deadline) // allowlisted for this fixture package
+	return rng.Intn(10) + int(rng.Float64()*float64(rng.Int63n(3)))
+}

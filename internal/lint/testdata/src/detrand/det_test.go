@@ -1,0 +1,13 @@
+// Test files are exempt from detrand: harness timing and ad-hoc seeds
+// are fine where results are asserted, not produced.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testOnlyHelper() int64 {
+	_ = rand.Intn(3) // not flagged: test file
+	return time.Now().UnixNano()
+}

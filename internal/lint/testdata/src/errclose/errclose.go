@@ -1,0 +1,45 @@
+// Fixture for the errclose analyzer: discarded errors on durable
+// outputs (files, CSV emitters, buffered writers, trace sinks).
+package errclose
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+	"strings"
+)
+
+// RowSink is a module sink type by naming convention.
+type RowSink struct{ n int }
+
+// Write records one row.
+func (s *RowSink) Write(row string) error {
+	s.n++
+	return nil
+}
+
+// bad discards every error a durable writer can report.
+func bad(f *os.File, cw *csv.Writer, bw *bufio.Writer, sink *RowSink) {
+	defer f.Close()         // deferred discard
+	cw.Write([]string{"a"}) // CSV row silently dropped on error
+	bw.Flush()              // buffered bytes silently dropped
+	sink.Write("row")       // sink error silently dropped
+	f.Sync()                // durability fsync unchecked
+}
+
+// good checks or visibly discards.
+func good(f *os.File, cw *csv.Writer, bw *bufio.Writer, sink *RowSink) error {
+	var b strings.Builder
+	b.WriteString("in-memory writers never fail") // not durable: exempt
+	if err := cw.Write([]string{"a"}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := sink.Write("row"); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit, visible discard
+	return nil
+}

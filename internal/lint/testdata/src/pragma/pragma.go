@@ -1,0 +1,29 @@
+// Fixture for the pragma machinery: suppression with a reason, a
+// malformed directive, and a stale (unused) directive.
+package pragma
+
+import "os"
+
+// suppressed: the pragma on the preceding line silences the finding,
+// and the suite counts and reports it.
+func suppressed(f *os.File) {
+	//xvolt:lint-ignore errclose fixture demonstrates an audited suppression
+	f.Close()
+}
+
+// inline: a same-line pragma also suppresses.
+func inline(f *os.File) {
+	f.Close() //xvolt:lint-ignore errclose same-line suppression
+}
+
+// malformed: a reasonless pragma is itself a finding, and the call it
+// fails to cover is still reported.
+func malformed(f *os.File) {
+	//xvolt:lint-ignore errclose
+	f.Close()
+}
+
+// stale: this pragma suppresses nothing and must be reported as unused.
+//
+//xvolt:lint-ignore maporder nothing here ranges over a map
+func stale() {}

@@ -7,6 +7,13 @@ import (
 	"time"
 )
 
+// now is the span clock. It is the package's single sanctioned wall-clock
+// reference (allowlisted for xvolt-lint's detrand rule): span timing is
+// telemetry about the harness, never an input to campaign results, and
+// tests swap the hook for a fake clock so elapsed-time assertions are
+// exact instead of sleep-based.
+var now = time.Now
+
 // Span times one region. Obtain with StartSpan; call End (or EndTo) when
 // the region finishes. The zero Span is inert.
 type Span struct {
@@ -17,7 +24,7 @@ type Span struct {
 // StartSpan starts timing into h. A nil histogram yields a span that
 // still measures (End returns the real duration) but records nothing.
 func StartSpan(h *Histogram) Span {
-	return Span{hist: h, start: time.Now()}
+	return Span{hist: h, start: now()}
 }
 
 // End observes the elapsed seconds into the span's histogram and returns
@@ -27,7 +34,7 @@ func (s Span) End() time.Duration {
 	if s.start.IsZero() {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := now().Sub(s.start)
 	s.hist.Observe(d.Seconds())
 	return d
 }
@@ -38,7 +45,7 @@ func (s Span) EndTo(h *Histogram) time.Duration {
 	if s.start.IsZero() {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := now().Sub(s.start)
 	h.Observe(d.Seconds())
 	return d
 }

@@ -5,27 +5,41 @@ import (
 	"time"
 )
 
+// stubClock swaps the span clock for a manually advanced fake and
+// restores it when the test ends; the returned func advances it. Span
+// assertions become exact instead of sleep-and-hope.
+func stubClock(t *testing.T) func(time.Duration) {
+	t.Helper()
+	cur := time.Unix(1000, 0)
+	orig := now
+	now = func() time.Time { return cur }
+	t.Cleanup(func() { now = orig })
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
 func TestSpanObserves(t *testing.T) {
+	advance := stubClock(t)
 	r := NewRegistry()
 	h := r.Histogram("span_seconds", "h", nil)
 	s := StartSpan(h)
-	time.Sleep(time.Millisecond)
-	d := s.End()
-	if d < time.Millisecond {
-		t.Errorf("span measured %v", d)
+	advance(250 * time.Millisecond)
+	if d := s.End(); d != 250*time.Millisecond {
+		t.Errorf("span measured %v, want 250ms", d)
 	}
 	if h.Count() != 1 {
 		t.Errorf("histogram count = %d", h.Count())
 	}
-	if h.Sum() < 0.001 {
-		t.Errorf("histogram sum = %v", h.Sum())
+	if h.Sum() != 0.25 {
+		t.Errorf("histogram sum = %v, want 0.25", h.Sum())
 	}
 }
 
 func TestSpanNilHistogram(t *testing.T) {
+	advance := stubClock(t)
 	s := StartSpan(nil)
-	if d := s.End(); d < 0 {
-		t.Errorf("nil-histogram span duration = %v", d)
+	advance(time.Millisecond)
+	if d := s.End(); d != time.Millisecond {
+		t.Errorf("nil-histogram span duration = %v, want 1ms", d)
 	}
 }
 
@@ -42,13 +56,20 @@ func TestZeroSpanInert(t *testing.T) {
 }
 
 func TestEndTo(t *testing.T) {
+	advance := stubClock(t)
 	r := NewRegistry()
 	ok := r.Histogram("ok_seconds", "h", nil)
 	fail := r.Histogram("fail_seconds", "h", nil)
 	s := StartSpan(ok)
-	s.EndTo(fail)
+	advance(100 * time.Millisecond)
+	if d := s.EndTo(fail); d != 100*time.Millisecond {
+		t.Errorf("EndTo duration = %v, want 100ms", d)
+	}
 	if ok.Count() != 0 || fail.Count() != 1 {
 		t.Errorf("EndTo routed wrong: ok=%d fail=%d", ok.Count(), fail.Count())
+	}
+	if fail.Sum() != 0.1 {
+		t.Errorf("EndTo sum = %v, want 0.1", fail.Sum())
 	}
 }
 
