@@ -54,8 +54,8 @@ var (
 	sevErr  error
 )
 
-func severityDataset(b *testing.B) *regress.Dataset {
-	b.Helper()
+func severityDataset(tb testing.TB) *regress.Dataset {
+	tb.Helper()
 	sevOnce.Do(func() {
 		fw := core.New(xgene.New(silicon.NewChip(silicon.TTT, 1)))
 		cfg := core.DefaultConfig(workload.PredictionSuite(), []int{0})
@@ -70,7 +70,7 @@ func severityDataset(b *testing.B) *regress.Dataset {
 		sevData, sevErr = predict.BuildSeverityDataset(results, profiles, 0, core.PaperWeights, 100)
 	})
 	if sevErr != nil {
-		b.Fatal(sevErr)
+		tb.Fatal(sevErr)
 	}
 	return sevData
 }
@@ -79,6 +79,7 @@ func severityDataset(b *testing.B) *regress.Dataset {
 // severity model: the paper picked 5 and found more added nothing.
 func BenchmarkAblationRFEFeatureCount(b *testing.B) {
 	d := severityDataset(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, keep := range []int{1, 3, 5, 10} {
 			pipe := predict.DefaultPipeline()
@@ -97,6 +98,7 @@ func BenchmarkAblationRFEFeatureCount(b *testing.B) {
 // single 80/20 split of the paper could have wiggled.
 func BenchmarkAblationCrossValidation(b *testing.B) {
 	d := severityDataset(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cv, err := regress.CrossValidate(d, 5, 5, rand.New(rand.NewSource(1)))
 		if err != nil {

@@ -37,16 +37,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	saveModels := flag.String("save-models", "", "write the trained model bank to this JSON file")
 	loadModels := flag.String("models", "", "load a model bank instead of training")
+	parallelism := flag.Int("parallelism", 0, "worker count for per-core model training (0 = all CPUs)")
 	flag.Parse()
 
-	if err := run(*epochs, *tolerance, *margin, *runs, *seed, *saveModels, *loadModels); err != nil {
+	if err := run(*epochs, *tolerance, *margin, *runs, *seed, *parallelism, *saveModels, *loadModels); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-govern:", err)
 		os.Exit(1)
 	}
 }
 
 // obtainBank trains a fresh model bank or loads a previously saved one.
-func obtainBank(machine *xgene.Machine, runs int, seed int64, savePath, loadPath string) (*predict.ModelBank, error) {
+func obtainBank(machine *xgene.Machine, runs int, seed int64, parallelism int, savePath, loadPath string) (*predict.ModelBank, error) {
 	if loadPath != "" {
 		f, err := os.Open(loadPath)
 		if err != nil {
@@ -73,7 +74,7 @@ func obtainBank(machine *xgene.Machine, runs int, seed int64, savePath, loadPath
 	profiles := predict.CollectProfiles(trainSet, seed+1)
 	pipe := predict.DefaultPipeline()
 	pipe.Seed = seed
-	bank, err := predict.TrainBank(results, profiles, core.PaperWeights, pipe)
+	bank, err := predict.TrainBankN(results, profiles, core.PaperWeights, pipe, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -99,12 +100,12 @@ func obtainBank(machine *xgene.Machine, runs int, seed int64, savePath, loadPath
 	return bank, nil
 }
 
-func run(epochs int, tolerance float64, margin, runs int, seed int64, savePath, loadPath string) error {
+func run(epochs int, tolerance float64, margin, runs int, seed int64, parallelism int, savePath, loadPath string) error {
 	chip := silicon.NewChip(silicon.TTT, 1)
 	machine := xgene.New(chip)
 	rng := rand.New(rand.NewSource(seed))
 
-	bank, err := obtainBank(machine, runs, seed, savePath, loadPath)
+	bank, err := obtainBank(machine, runs, seed, parallelism, savePath, loadPath)
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,7 @@ func DefaultConfig() Config {
 			"xvolt/internal/workload",
 			"xvolt/internal/experiments",
 			"xvolt/internal/predict",
+			"xvolt/internal/regress",
 			"xvolt/internal/counters",
 			"xvolt/internal/energy",
 			"xvolt/internal/sched",
@@ -49,10 +50,14 @@ func DefaultConfig() Config {
 		SeedflowPkgs: []string{
 			"xvolt/internal/core",
 			"xvolt/internal/experiments",
+			"xvolt/internal/predict",
+			"xvolt/internal/regress",
 		},
 		SeedSources: []string{
 			"xvolt/internal/core.CampaignSeed",
 			"xvolt/internal/core.splitmix64",
+			"xvolt/internal/regress.FoldSeed",
+			"xvolt/internal/regress.splitmix64",
 		},
 	}
 }

@@ -1,0 +1,32 @@
+// Fixture for the parallel cross-validation shape: every repeat's
+// shuffle stream must come from a derived fold seed, never a literal or
+// a bare loop counter.
+package seedflow
+
+import "math/rand"
+
+// foldSeed mirrors the learning layer's seed-derivation helper; its
+// name marks the result as a derived seed.
+func foldSeed(seed int64, fold int) int64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	return int64(h) + int64(fold)
+}
+
+// goodCV derives every repeat's shuffle stream from the caller's seed.
+func goodCV(seed int64, repeats int) []*rand.Rand {
+	out := make([]*rand.Rand, repeats)
+	for r := range out {
+		out[r] = rand.New(rand.NewSource(foldSeed(seed, r)))
+	}
+	return out
+}
+
+// badCV seeds worker streams from a bare loop counter and a literal.
+func badCV(repeats int) []*rand.Rand {
+	out := make([]*rand.Rand, repeats)
+	for r := range out {
+		out[r] = rand.New(rand.NewSource(int64(r))) // bare counter
+	}
+	out[0] = rand.New(rand.NewSource(99)) // literal
+	return out
+}

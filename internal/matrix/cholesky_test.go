@@ -1,0 +1,291 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gramOf builds G = AᵀA for a random m×n matrix — symmetric positive
+// (semi-)definite by construction.
+func gramOf(rng *rand.Rand, m, n int) *Matrix {
+	a := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	at := a.T()
+	g, err := at.Mul(a)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// residual returns max_i |G·x − b|_i.
+func residual(g *Matrix, x, b []float64) float64 {
+	gx, err := g.MulVec(x)
+	if err != nil {
+		panic(err)
+	}
+	worst := 0.0
+	for i := range gx {
+		if d := math.Abs(gx[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestCholeskyFactorSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 12, 40} {
+		g := gramOf(rng, n+10, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		var c Cholesky
+		if err := c.Factor(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c.Size() != n {
+			t.Fatalf("n=%d: Size = %d", n, c.Size())
+		}
+		x, err := c.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := residual(g, x, b); r > 1e-8 {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// G = RᵀR with R = [[2,1],[0,3]] → G = [[4,2],[2,10]].
+	g, err := FromRows([][]float64{{4, 2}, {2, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Cholesky
+	if err := c.Factor(g); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 1}, {0, 3}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(c.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("R[%d,%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskySingular(t *testing.T) {
+	// Rank-1 matrix: second pivot collapses.
+	g, err := FromRows([][]float64{{1, 2}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Cholesky
+	if err := c.Factor(g); !errors.Is(err, ErrSingular) {
+		t.Errorf("Factor on rank-1 matrix: %v", err)
+	}
+	// The ridge-stabilized path handles the same matrix.
+	if err := c.FactorRidge(g, 1e-6); err != nil {
+		t.Errorf("FactorRidge: %v", err)
+	}
+	if _, err := c.Solve([]float64{1, 2}); err != nil {
+		t.Errorf("Solve after ridge: %v", err)
+	}
+	// Non-square input is rejected.
+	if err := c.Factor(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square Factor: %v", err)
+	}
+}
+
+func TestCholeskyRidgeMatchesShiftedMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	g := gramOf(rng, 20, n)
+	const lambda = 1e-3
+	shifted := g.Clone()
+	for i := 0; i < n; i++ {
+		shifted.Set(i, i, shifted.At(i, i)+lambda)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var cr, cs Cholesky
+	if err := cr.FactorRidge(g, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Factor(shifted); err != nil {
+		t.Fatal(err)
+	}
+	xr, err := cr.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := cs.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xr {
+		if math.Abs(xr[i]-xs[i]) > 1e-12 {
+			t.Fatalf("x[%d]: ridge %v vs shifted %v", i, xr[i], xs[i])
+		}
+	}
+}
+
+// TestCholeskyDowndate removes each index in turn from a factored matrix
+// and checks the downdated factor solves the reduced system exactly as a
+// fresh factorization of the reduced matrix does.
+func TestCholeskyDowndate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	g := gramOf(rng, 30, n)
+	for del := 0; del < n; del++ {
+		var c Cholesky
+		if err := c.Factor(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Downdate(del); err != nil {
+			t.Fatal(err)
+		}
+		if c.Size() != n-1 {
+			t.Fatalf("del=%d: Size = %d", del, c.Size())
+		}
+		// Reduced matrix: g without row/col del.
+		keep := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != del {
+				keep = append(keep, i)
+			}
+		}
+		red := New(n-1, n-1)
+		for i, gi := range keep {
+			for j, gj := range keep {
+				red.Set(i, j, g.At(gi, gj))
+			}
+		}
+		var fresh Cholesky
+		if err := fresh.Factor(red); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n-1)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xd, err := c.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xf, err := fresh.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xd {
+			if math.Abs(xd[i]-xf[i]) > 1e-10 {
+				t.Fatalf("del=%d x[%d]: downdated %v vs fresh %v", del, i, xd[i], xf[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyDowndateChain eliminates several indices in sequence from
+// one factorization, checking against fresh refactorizations throughout.
+func TestCholeskyDowndateChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 15
+	g := gramOf(rng, 40, n)
+	var c Cholesky
+	if err := c.Factor(g); err != nil {
+		t.Fatal(err)
+	}
+	keep := make([]int, n)
+	for i := range keep {
+		keep[i] = i
+	}
+	for _, del := range []int{3, 0, 7, 10, 2} {
+		if err := c.Downdate(del); err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep[:del], keep[del+1:]...)
+		red := New(len(keep), len(keep))
+		for i, gi := range keep {
+			for j, gj := range keep {
+				red.Set(i, j, g.At(gi, gj))
+			}
+		}
+		var fresh Cholesky
+		if err := fresh.Factor(red); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, len(keep))
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xd, err := c.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xf, err := fresh.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xd {
+			if math.Abs(xd[i]-xf[i]) > 1e-10 {
+				t.Fatalf("after deleting %d: x[%d] = %v vs %v", del, i, xd[i], xf[i])
+			}
+		}
+	}
+	if err := c.Downdate(c.Size()); !errors.Is(err, ErrShape) {
+		t.Errorf("out-of-range Downdate: %v", err)
+	}
+}
+
+// TestCholeskyWorkspaceReuse refactors differently-sized systems through
+// one receiver; results must match fresh factorizations.
+func TestCholeskyWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var c Cholesky
+	for _, n := range []int{10, 4, 16, 1, 9} {
+		g := gramOf(rng, n+8, n)
+		if err := c.Factor(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var fresh Cholesky
+		if err := fresh.Factor(g); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if c.At(i, j) != fresh.At(i, j) {
+					t.Fatalf("n=%d: reused factor differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolveShapeChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gramOf(rng, 10, 4)
+	var c Cholesky
+	if err := c.Factor(g); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 4)
+	if err := c.SolveInto(x, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Errorf("short b: %v", err)
+	}
+	if err := c.SolveInto(x[:3], []float64{1, 2, 3, 4}); !errors.Is(err, ErrShape) {
+		t.Errorf("short x: %v", err)
+	}
+}

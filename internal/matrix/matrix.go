@@ -71,6 +71,32 @@ func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
 
+// RowView returns row i as a slice aliasing the matrix storage — writes
+// through the slice mutate the matrix. It is the allocation-free access
+// path for hot loops; use Row for a defensive copy.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Reset reshapes m to rows×cols, reusing the backing array when it has
+// the capacity, and zeroes every element. It is how callers keep a
+// long-lived scratch matrix across differently-sized problems without
+// reallocating.
+func (m *Matrix) Reset(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	}
+	m.data = m.data[:n]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.rows, m.cols = rows, cols
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)
@@ -121,13 +147,15 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	}
 	out := New(m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.At(i, k)
+		mrow := m.RowView(i)
+		orow := out.RowView(i)
+		for k, a := range mrow {
 			if a == 0 {
 				continue
 			}
-			for j := 0; j < b.cols; j++ {
-				out.data[i*out.cols+j] += a * b.At(k, j)
+			brow := b.RowView(k)
+			for j, v := range brow {
+				orow[j] += a * v
 			}
 		}
 	}
@@ -200,53 +228,110 @@ func (m *Matrix) String() string {
 }
 
 // QR holds a Householder QR factorization A = Q·R with A m×n, m ≥ n.
-// Q is represented implicitly by its Householder reflectors.
+// Q is represented implicitly by its Householder reflectors. A QR reused
+// through FactorInto keeps its reflector storage and scratch buffers
+// across factorizations; Solve and SolveInto share the same scratch, so
+// a QR is not safe for concurrent use.
 type QR struct {
 	qr   *Matrix   // packed reflectors + R upper triangle
 	rd   []float64 // diagonal of R
 	m, n int
+	sw   []float64 // reflector-application scratch, len n
+	yw   []float64 // solve scratch, len m
 }
 
 // Factor computes the QR factorization of a (which must have at least as
 // many rows as columns). The input is not modified.
 func Factor(a *Matrix) (*QR, error) {
-	if a.rows < a.cols {
-		return nil, fmt.Errorf("%w: need rows >= cols, got %dx%d", ErrShape, a.rows, a.cols)
+	f := &QR{}
+	if err := FactorInto(f, a); err != nil {
+		return nil, err
 	}
-	qr := a.Clone()
-	m, n := qr.rows, qr.cols
-	rd := make([]float64, n)
+	return f, nil
+}
+
+// FactorInto recomputes f as the QR factorization of a, reusing f's
+// reflector storage and scratch buffers when capacity allows. It is the
+// allocation-free path for callers that factor many same-shaped systems
+// (the regression layer's per-fit workspace). The input is not modified.
+func FactorInto(f *QR, a *Matrix) error {
+	if a.rows < a.cols {
+		return fmt.Errorf("%w: need rows >= cols, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	m, n := a.rows, a.cols
+	if f.qr == nil {
+		f.qr = a.Clone()
+	} else {
+		f.qr.Reset(m, n)
+		copy(f.qr.data, a.data)
+	}
+	if cap(f.rd) < n {
+		f.rd = make([]float64, n)
+		f.sw = make([]float64, n)
+	}
+	if cap(f.yw) < m {
+		f.yw = make([]float64, m)
+	}
+	f.rd = f.rd[:n]
+	f.m, f.n = m, n
+	qr := f.qr.data
+	rd := f.rd
 	for k := 0; k < n; k++ {
-		// Norm of the k-th column below the diagonal.
-		nrm := 0.0
+		// Two-pass scaled norm of the k-th column below the diagonal:
+		// overflow-safe like a Hypot chain, without a libm call per
+		// element.
+		amax := 0.0
 		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.At(i, k))
+			if v := math.Abs(qr[i*n+k]); v > amax {
+				amax = v
+			}
 		}
-		if nrm == 0 {
+		if amax == 0 {
 			rd[k] = 0
 			continue
 		}
-		if qr.At(k, k) < 0 {
+		sum := 0.0
+		for i := k; i < m; i++ {
+			v := qr[i*n+k] / amax
+			sum += v * v
+		}
+		nrm := amax * math.Sqrt(sum)
+		if qr[k*n+k] < 0 {
 			nrm = -nrm
 		}
 		for i := k; i < m; i++ {
-			qr.Set(i, k, qr.At(i, k)/nrm)
+			qr[i*n+k] /= nrm
 		}
-		qr.Set(k, k, qr.At(k, k)+1)
-		// Apply the reflector to the remaining columns.
-		for j := k + 1; j < n; j++ {
-			s := 0.0
-			for i := k; i < m; i++ {
-				s += qr.At(i, k) * qr.At(i, j)
+		qr[k*n+k]++
+		// Apply the reflector to all trailing columns at once: one
+		// row-major sweep accumulates s = vᵀA, a second applies the
+		// rank-1 update — contiguous row slices instead of a strided
+		// pass per column.
+		s := f.sw[:n-k-1]
+		for j := range s {
+			s[j] = 0
+		}
+		for i := k; i < m; i++ {
+			row := qr[i*n : i*n+n]
+			v := row[k]
+			for j := k + 1; j < n; j++ {
+				s[j-k-1] += v * row[j]
 			}
-			s = -s / qr.At(k, k)
-			for i := k; i < m; i++ {
-				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+		}
+		vkk := qr[k*n+k]
+		for j := range s {
+			s[j] = -s[j] / vkk
+		}
+		for i := k; i < m; i++ {
+			row := qr[i*n : i*n+n]
+			v := row[k]
+			for j := k + 1; j < n; j++ {
+				row[j] += s[j-k-1] * v
 			}
 		}
 		rd[k] = -nrm
 	}
-	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+	return nil
 }
 
 // FullRank reports whether R has no (near-)zero diagonal entries, i.e. the
@@ -276,37 +361,53 @@ const rankTol = 1e-10
 // Solve finds x minimizing ‖A·x − b‖₂ via the factorization.
 // It returns ErrSingular when A is rank-deficient (relative to rankTol).
 func (f *QR) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto is Solve writing into a caller-owned slice of length Cols;
+// it allocates nothing. x must not alias b.
+func (f *QR) SolveInto(x, b []float64) error {
 	if len(b) != f.m {
-		return nil, ErrShape
+		return ErrShape
+	}
+	if len(x) != f.n {
+		return ErrShape
 	}
 	if !f.FullRank(rankTol) {
-		return nil, ErrSingular
+		return ErrSingular
 	}
-	y := append([]float64(nil), b...)
+	qr := f.qr.data
+	y := f.yw[:f.m]
+	copy(y, b)
 	// Apply Qᵀ to b.
 	for k := 0; k < f.n; k++ {
-		if f.qr.At(k, k) == 0 {
+		vkk := qr[k*f.n+k]
+		if vkk == 0 {
 			continue
 		}
 		s := 0.0
 		for i := k; i < f.m; i++ {
-			s += f.qr.At(i, k) * y[i]
+			s += qr[i*f.n+k] * y[i]
 		}
-		s = -s / f.qr.At(k, k)
+		s = -s / vkk
 		for i := k; i < f.m; i++ {
-			y[i] += s * f.qr.At(i, k)
+			y[i] += s * qr[i*f.n+k]
 		}
 	}
 	// Back-substitute R·x = y.
-	x := make([]float64, f.n)
 	for k := f.n - 1; k >= 0; k-- {
+		row := qr[k*f.n : k*f.n+f.n]
 		s := y[k]
 		for j := k + 1; j < f.n; j++ {
-			s -= f.qr.At(k, j) * x[j]
+			s -= row[j] * x[j]
 		}
 		x[k] = s / f.rd[k]
 	}
-	return x, nil
+	return nil
 }
 
 // LeastSquares solves min ‖A·x − b‖₂ directly.
@@ -346,13 +447,24 @@ func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
 	return LeastSquares(aug, bb)
 }
 
-// Norm2 returns the Euclidean norm of x.
+// Norm2 returns the Euclidean norm of x, via an overflow-safe scaled
+// two-pass sum instead of a Hypot call per element.
 func Norm2(x []float64) float64 {
+	amax := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > amax {
+			amax = a
+		}
+	}
+	if amax == 0 || math.IsInf(amax, 0) {
+		return amax
+	}
 	s := 0.0
 	for _, v := range x {
-		s = math.Hypot(s, v)
+		v /= amax
+		s += v * v
 	}
-	return s
+	return amax * math.Sqrt(s)
 }
 
 // Dot returns the inner product of two equal-length vectors.

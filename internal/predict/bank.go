@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
 
 	"xvolt/internal/core"
 	"xvolt/internal/counters"
@@ -31,8 +34,19 @@ type BankEntry struct {
 }
 
 // TrainBank fits a severity model for every core present in the
-// characterization results, using the paper's pipeline settings.
+// characterization results, using the paper's pipeline settings. It is
+// TrainBankN with the default worker count.
 func TrainBank(results []*core.CampaignResult, profiles Profiles, w core.Weights, pipe Pipeline) (*ModelBank, error) {
+	return TrainBankN(results, profiles, w, pipe, 0)
+}
+
+// TrainBankN is TrainBank on a bounded worker pool of the given size
+// (≤ 0 means GOMAXPROCS). Per-core fits are independent — every core's
+// pipeline run derives its RNG from pipe.Seed alone — so the bank is
+// identical at any worker count; entries land in per-core slots and
+// errors are reported in ascending core order, exactly like a
+// sequential sweep.
+func TrainBankN(results []*core.CampaignResult, profiles Profiles, w core.Weights, pipe Pipeline, workers int) (*ModelBank, error) {
 	coresSeen := map[int]bool{}
 	chip := ""
 	for _, r := range results {
@@ -42,25 +56,64 @@ func TrainBank(results []*core.CampaignResult, profiles Profiles, w core.Weights
 	if len(coresSeen) == 0 {
 		return nil, errors.New("predict: no campaign results to train from")
 	}
-	bank := &ModelBank{Chip: chip, ByCore: map[int]*BankEntry{}}
+	coreIDs := make([]int, 0, len(coresSeen))
 	for coreID := range coresSeen {
-		d, err := BuildSeverityDataset(results, profiles, coreID, w, 0)
+		coreIDs = append(coreIDs, coreID)
+	}
+	sort.Ints(coreIDs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(coreIDs) {
+		workers = len(coreIDs)
+	}
+	entries := make([]*BankEntry, len(coreIDs))
+	errs := make([]error, len(coreIDs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				entries[idx], errs[idx] = trainCore(results, profiles, coreIDs[idx], w, pipe)
+			}
+		}()
+	}
+	for idx := range coreIDs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core %d: %w", coreID, err)
-		}
-		res, err := pipe.Run(d)
-		if err != nil {
-			return nil, fmt.Errorf("core %d: %w", coreID, err)
-		}
-		bank.ByCore[coreID] = &BankEntry{
-			Selected:  res.Selected,
-			TrainMean: res.TrainMean,
-			R2:        res.R2,
-			RMSE:      res.RMSE,
-			Model:     res.Model,
+			return nil, err
 		}
 	}
+	bank := &ModelBank{Chip: chip, ByCore: map[int]*BankEntry{}}
+	for idx, coreID := range coreIDs {
+		bank.ByCore[coreID] = entries[idx]
+	}
 	return bank, nil
+}
+
+// trainCore fits one core's severity model.
+func trainCore(results []*core.CampaignResult, profiles Profiles, coreID int, w core.Weights, pipe Pipeline) (*BankEntry, error) {
+	d, err := BuildSeverityDataset(results, profiles, coreID, w, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core %d: %w", coreID, err)
+	}
+	res, err := pipe.Run(d)
+	if err != nil {
+		return nil, fmt.Errorf("core %d: %w", coreID, err)
+	}
+	return &BankEntry{
+		Selected:  res.Selected,
+		TrainMean: res.TrainMean,
+		R2:        res.R2,
+		RMSE:      res.RMSE,
+		Model:     res.Model,
+	}, nil
 }
 
 // PredictSeverity evaluates the bank's model for a core on a counter

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -142,3 +143,24 @@ func mv(v int) units.MilliVolts { return units.MilliVolts(v) }
 
 // newSeededRand builds a deterministic RNG.
 func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestTrainBankSequentialParallel: the bank must be identical at every
+// worker count — per-core fits derive all randomness from the pipeline
+// seed, never from scheduling.
+func TestTrainBankSequentialParallel(t *testing.T) {
+	results := characterized(t)
+	p := profiles()
+	var banks []*ModelBank
+	for _, workers := range []int{1, 2, 4, 0} {
+		bank, err := TrainBankN(results, p, core.PaperWeights, DefaultPipeline(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		banks = append(banks, bank)
+	}
+	for i, bank := range banks[1:] {
+		if !reflect.DeepEqual(banks[0], bank) {
+			t.Errorf("worker count %d changed the trained bank", i+1)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks for the §4 learning layer's fast path: the paper-scale
+// 101-feature RFE, Gram vs QR single fits, and parallel cross-validation.
+package regress
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchSeverityLike builds a dataset with the §4 problem shape: n samples
+// of w noisy, partially collinear counter-like features.
+func benchSeverityLike(n, w int) *Dataset {
+	rng := rand.New(rand.NewSource(42))
+	d := &Dataset{}
+	informative := 5
+	coefs := make([]float64, informative)
+	for j := range coefs {
+		coefs[j] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, w)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		// Make later columns correlated with the informative block, like
+		// the many redundant PMU events.
+		for j := informative; j < w; j++ {
+			row[j] += 0.5 * row[j%informative]
+		}
+		y := rng.NormFloat64() * 0.1
+		for j, c := range coefs {
+			y += c * row[j]
+		}
+		d.Features = append(d.Features, row)
+		d.Targets = append(d.Targets, y)
+	}
+	return d
+}
+
+// BenchmarkRFE101 is the paper-scale elimination: 101 features down to 5
+// on 100 samples — the shape of the case-2 severity problem.
+func BenchmarkRFE101(b *testing.B) {
+	d := benchSeverityLike(100, 101)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RFE(d, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFE101Reference is the same elimination on the QR reference
+// loop, for comparison against BenchmarkRFE101.
+func BenchmarkRFE101Reference(b *testing.B) {
+	d := benchSeverityLike(100, 101)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RFEReference(d, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitQR times one reference fit on a determined system.
+func BenchmarkFitQR(b *testing.B) {
+	d := benchSeverityLike(100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitGram times the normal-equations fit on the same system.
+func BenchmarkFitGram(b *testing.B) {
+	d := benchSeverityLike(100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGram(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossValidateParallel measures the worker pool against the
+// single-worker path on the same repeated CV problem and reports the
+// speedup (results are identical by the fold-seeding guarantee; only
+// wall clock differs).
+func BenchmarkCrossValidateParallel(b *testing.B) {
+	d := benchSeverityLike(100, 40)
+	opts := CVOptions{Folds: 5, SelectFeatures: 5, Repeats: 4, Seed: 1}
+	serialOpts := opts
+	serialOpts.Workers = 1
+	start := time.Now()
+	if _, err := CrossValidateOpts(d, serialOpts); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	b.ResetTimer()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidateOpts(d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := time.Since(start) / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}

@@ -3,6 +3,7 @@ package regress
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -89,5 +90,100 @@ func TestCrossValidateDeterministic(t *testing.T) {
 	}
 	if a.MeanR2 != b.MeanR2 || a.MeanRMSE != b.MeanRMSE {
 		t.Error("cross-validation not deterministic under a fixed seed")
+	}
+}
+
+// TestCrossValidateSequentialParallel is the PR's determinism table: the
+// same dataset and seed must produce byte-identical results at every
+// worker count, fold count and feature-selection setting.
+func TestCrossValidateSequentialParallel(t *testing.T) {
+	cases := []struct {
+		name           string
+		n, w, k        int
+		selectFeatures int
+		seed           int64
+	}{
+		{"plain-5fold", 80, 6, 5, 0, 7},
+		{"rfe-4fold", 60, 10, 4, 3, 11},
+		{"wide-rfe", 40, 20, 4, 5, 13},
+		{"2fold", 30, 3, 2, 0, 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := synthDataset(rand.New(rand.NewSource(tc.seed)), tc.n, tc.w, 0.5)
+			var results []*CVResult
+			for _, workers := range []int{1, 2, 4, 0} {
+				cv, err := CrossValidateOpts(d, CVOptions{
+					Folds:          tc.k,
+					SelectFeatures: tc.selectFeatures,
+					Workers:        workers,
+					Seed:           tc.seed,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				results = append(results, cv)
+			}
+			for i, cv := range results[1:] {
+				if !reflect.DeepEqual(results[0], cv) {
+					t.Errorf("worker count changed the result (case %d)", i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossValidateOptsMatchesLegacy: CrossValidateOpts with one repeat
+// equals the rng-based entry point fed the same derived stream.
+func TestCrossValidateOptsMatchesLegacy(t *testing.T) {
+	d := synthDataset(rand.New(rand.NewSource(21)), 50, 5, 0.5)
+	opts, err := CrossValidateOpts(d, CVOptions{Folds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := CrossValidate(d, 5, 0, rand.New(rand.NewSource(FoldSeed(9, 0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(opts, legacy) {
+		t.Error("CrossValidateOpts diverges from the rng entry point")
+	}
+}
+
+// TestCrossValidateRepeats: repeats multiply the fold population and
+// every repeat shuffles differently.
+func TestCrossValidateRepeats(t *testing.T) {
+	d := synthDataset(rand.New(rand.NewSource(22)), 60, 4, 0.5)
+	cv, err := CrossValidateOpts(d, CVOptions{Folds: 4, Repeats: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != 12 {
+		t.Fatalf("got %d folds for 3 repeats of 4", len(cv.Folds))
+	}
+	again, err := CrossValidateOpts(d, CVOptions{Folds: 4, Repeats: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cv, again) {
+		t.Error("repeated cross-validation not deterministic")
+	}
+}
+
+func TestFoldSeed(t *testing.T) {
+	// Stable for a fixed identity.
+	if FoldSeed(1, 0) != FoldSeed(1, 0) {
+		t.Error("FoldSeed not deterministic")
+	}
+	// Distinct across folds and seeds.
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for fold := 0; fold < 16; fold++ {
+			s := FoldSeed(seed, fold)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d fold=%d", seed, fold)
+			}
+			seen[s] = true
+		}
 	}
 }

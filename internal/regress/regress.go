@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"xvolt/internal/matrix"
 	"xvolt/internal/stats"
@@ -125,10 +126,14 @@ func (d *Dataset) Split(rng *rand.Rand, trainFrac float64) (train, test *Dataset
 		cut = n - 1
 	}
 	pick := func(ix []int) *Dataset {
-		s := &Dataset{FeatureNames: d.FeatureNames}
-		for _, i := range ix {
-			s.Features = append(s.Features, d.Features[i])
-			s.Targets = append(s.Targets, d.Targets[i])
+		s := &Dataset{
+			FeatureNames: d.FeatureNames,
+			Features:     make([][]float64, len(ix)),
+			Targets:      make([]float64, len(ix)),
+		}
+		for k, i := range ix {
+			s.Features[k] = d.Features[i]
+			s.Targets[k] = d.Targets[i]
 		}
 		return s
 	}
@@ -150,6 +155,18 @@ type Model struct {
 	fitted      bool
 }
 
+// fitBuf is the reusable scratch of one Fit call: the standardized
+// design matrix, its QR factorization and a standardization column.
+// Pooled so that repeated fits — RFE's reference loop, parallel
+// cross-validation folds — stop allocating a fresh workspace per call.
+type fitBuf struct {
+	x   matrix.Matrix
+	qr  matrix.QR
+	col []float64
+}
+
+var fitPool = sync.Pool{New: func() any { return new(fitBuf) }}
+
 // Fit trains an OLS model on the dataset. Features are standardized
 // internally (zero mean, unit variance on the training set) so that
 // coefficient magnitudes are comparable — the property RFE relies on.
@@ -168,30 +185,41 @@ func Fit(d *Dataset) (*Model, error) {
 		means:        make([]float64, w),
 		stds:         make([]float64, w),
 	}
-	// Column-wise standardization.
-	cols := make([][]float64, w)
+	buf := fitPool.Get().(*fitBuf)
+	defer fitPool.Put(buf)
+	// Design matrix with leading intercept column, standardized column by
+	// column into the pooled workspace.
+	buf.x.Reset(n, w+1)
+	x := &buf.x
+	if cap(buf.col) < n {
+		buf.col = make([]float64, n)
+	}
+	col := buf.col[:n]
+	for i := 0; i < n; i++ {
+		x.RowView(i)[0] = 1
+	}
 	for j := 0; j < w; j++ {
-		col := make([]float64, n)
 		for i := 0; i < n; i++ {
 			col[i] = d.Features[i][j]
 		}
-		z, mean, std := stats.Standardize(col)
-		cols[j] = z
+		mean := stats.Mean(col)
+		std := stats.StdDev(col)
+		if std == 0 {
+			std = 1
+		}
 		m.means[j] = mean
 		m.stds[j] = std
-	}
-	// Design matrix with leading intercept column.
-	x := matrix.New(n, w+1)
-	for i := 0; i < n; i++ {
-		x.Set(i, 0, 1)
-		for j := 0; j < w; j++ {
-			x.Set(i, j+1, cols[j][i])
+		for i := 0; i < n; i++ {
+			x.RowView(i)[j+1] = (col[i] - mean) / std
 		}
 	}
 	var beta []float64
 	var err error
 	if n >= w+1 {
-		beta, err = matrix.LeastSquares(x, d.Targets)
+		if err = matrix.FactorInto(&buf.qr, x); err == nil {
+			beta = make([]float64, w+1)
+			err = buf.qr.SolveInto(beta, d.Targets)
+		}
 	} else {
 		// Underdetermined problem (RFE starts from all 101 events with a
 		// handful of training programs): take the ridge solution with a
@@ -203,7 +231,7 @@ func Fit(d *Dataset) (*Model, error) {
 		if !errors.Is(err, matrix.ErrSingular) {
 			return nil, err
 		}
-		beta, err = matrix.SolveRidge(x, d.Targets, 1e-6)
+		beta, err = matrix.SolveRidge(x, d.Targets, ridgeLambda)
 		if err != nil {
 			return nil, err
 		}
@@ -294,11 +322,12 @@ func (m *Model) Evaluate(test *Dataset, naiveMean float64) (Evaluation, error) {
 	if err != nil {
 		return Evaluation{}, err
 	}
-	naive := make([]float64, test.Len())
-	for i := range naive {
-		naive[i] = naiveMean
+	// Reuse the prediction buffer for the naive baseline — pred has been
+	// fully consumed by the R² and RMSE computations above.
+	for i := range pred {
+		pred[i] = naiveMean
 	}
-	nrmse, err := stats.RMSE(naive, test.Targets)
+	nrmse, err := stats.RMSE(pred, test.Targets)
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -319,6 +348,12 @@ type RFEResult struct {
 // RFE performs Recursive Feature Elimination (paper §4.2): fit the
 // estimator on the current feature set, drop the feature with the smallest
 // absolute standardized coefficient, repeat until keep features remain.
+//
+// Wide problems run on the Gram-matrix fast path (one normal-equations
+// accumulation, Cholesky sub-solves per step); narrow ones on the QR
+// reference loop, which RFEReference exposes directly. Both paths
+// produce the same Kept sets and rankings — the equivalence suite pins
+// them against each other on the paper's severity dataset.
 func RFE(d *Dataset, keep int) (*RFEResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -327,6 +362,32 @@ func RFE(d *Dataset, keep int) (*RFEResult, error) {
 	if keep < 1 || keep > w {
 		return nil, fmt.Errorf("%w: keep=%d of %d", ErrBadKeep, keep, w)
 	}
+	if w >= gramMinFeatures {
+		return rfeGram(d, keep)
+	}
+	return rfeQR(d, keep)
+}
+
+// RFEReference is the O(n·w³) reference implementation of RFE: one full
+// QR re-fit per elimination. It exists to pin the Gram-matrix fast path
+// by test; production callers should use RFE, which selects the
+// appropriate path itself.
+func RFEReference(d *Dataset, keep int) (*RFEResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	w := d.NumFeatures()
+	if keep < 1 || keep > w {
+		return nil, fmt.Errorf("%w: keep=%d of %d", ErrBadKeep, keep, w)
+	}
+	return rfeQR(d, keep)
+}
+
+// rfeQR is the reference elimination loop: re-select, re-standardize and
+// re-fit the shrinking dataset each step. The caller has validated d and
+// keep.
+func rfeQR(d *Dataset, keep int) (*RFEResult, error) {
+	w := d.NumFeatures()
 	current := make([]int, w)
 	for j := range current {
 		current[j] = j
@@ -350,7 +411,13 @@ func RFE(d *Dataset, keep int) (*RFEResult, error) {
 		eliminated = append(eliminated, current[worst])
 		current = append(current[:worst], current[worst+1:]...)
 	}
-	// Rank survivors by final coefficient magnitude.
+	return finishRFE(d, current, eliminated)
+}
+
+// finishRFE ranks the survivors with a final reference fit and assembles
+// the result — shared tail of both elimination paths, so their rankings
+// come from the identical estimator.
+func finishRFE(d *Dataset, current, eliminated []int) (*RFEResult, error) {
 	sub, err := d.Select(current)
 	if err != nil {
 		return nil, err
@@ -368,7 +435,7 @@ func RFE(d *Dataset, keep int) (*RFEResult, error) {
 		fcs[j] = fc{idx, math.Abs(model.Coef[j])}
 	}
 	sort.Slice(fcs, func(a, b int) bool { return fcs[a].abs > fcs[b].abs })
-	res := &RFEResult{}
+	res := &RFEResult{Ranking: make([]int, 0, len(current)+len(eliminated))}
 	for _, f := range fcs {
 		res.Ranking = append(res.Ranking, f.idx)
 	}
