@@ -1,0 +1,142 @@
+// Command xvolt-fleet runs the multi-board health daemon: a mixed-corner
+// fleet of simulated X-Gene 2 boards, each characterized at startup and
+// then operated just above its voltage floor, polled for health, and
+// guarded by the online margin controller. The fleet publishes over HTTP
+// (/api/fleet, /api/fleet/health, /api/fleet/{board}/events, /metrics).
+//
+// Usage:
+//
+//	xvolt-fleet -addr :8090 -boards 16 -seed 1
+//	xvolt-fleet -polls 200 -dump           # batch: run, dump stores, exit
+//
+// The -dump mode is the determinism contract made visible: two
+// invocations with the same flags emit byte-identical output.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xvolt/internal/fleet"
+	"xvolt/internal/obs"
+	"xvolt/internal/server"
+)
+
+type options struct {
+	addr        string
+	boards      int
+	seed        int64
+	workers     int
+	runsPerPoll int
+	interval    time.Duration
+	polls       int
+	dump        bool
+	chunk       int
+	tick        time.Duration
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8090", "listen address (daemon mode)")
+	flag.IntVar(&opts.boards, "boards", 16, "fleet size")
+	flag.Int64Var(&opts.seed, "seed", 1, "master fleet seed")
+	flag.IntVar(&opts.workers, "workers", 4, "poller worker pool size (does not affect results)")
+	flag.IntVar(&opts.runsPerPoll, "runs-per-poll", 2, "benchmark runs sampled per health poll")
+	flag.DurationVar(&opts.interval, "interval", time.Second, "mean poll interval on the virtual clock")
+	flag.IntVar(&opts.polls, "polls", 0, "with -dump: total polls to run before dumping")
+	flag.BoolVar(&opts.dump, "dump", false, "run -polls polls, dump event store and transitions to stdout, exit")
+	flag.IntVar(&opts.chunk, "chunk", 32, "polls committed per pacing tick (daemon mode)")
+	flag.DurationVar(&opts.tick, "tick", 250*time.Millisecond, "wall-clock pacing between poll chunks (daemon mode)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func (o options) fleetConfig() fleet.Config {
+	return fleet.Config{
+		Boards:       o.boards,
+		Seed:         o.seed,
+		Workers:      o.workers,
+		RunsPerPoll:  o.runsPerPoll,
+		BaseInterval: o.interval,
+	}
+}
+
+func run(ctx context.Context, opts options, out io.Writer) error {
+	if opts.dump {
+		if opts.polls <= 0 {
+			opts.polls = 200
+		}
+		return dumpFleet(opts.fleetConfig(), opts.polls, out)
+	}
+
+	m, err := fleet.New(opts.fleetConfig())
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+
+	srv := server.New(nil)
+	srv.SetMetrics(reg)
+	srv.SetFleet(m)
+
+	go pollLoop(ctx, m, opts.chunk, opts.tick)
+
+	log.Printf("fleet of %d boards on %s (seed %d, %d workers)",
+		opts.boards, opts.addr, opts.seed, opts.workers)
+	return server.ListenAndServe(ctx, opts.addr, srv.Handler(), server.DefaultDrainTimeout)
+}
+
+// pollLoop drives the fleet in chunks, paced on the wall clock, until the
+// context ends. Pacing only chooses when chunks run; the poll outcomes
+// themselves live entirely on the fleet's seeded virtual clock.
+func pollLoop(ctx context.Context, m *fleet.Manager, chunk int, tick time.Duration) {
+	if chunk <= 0 {
+		chunk = 32
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Run(chunk)
+		}
+	}
+}
+
+// dumpFleet runs a fresh fleet for a fixed number of polls and writes the
+// two byte-comparable artifacts: the event store and the transition log.
+func dumpFleet(cfg fleet.Config, polls int, w io.Writer) error {
+	m, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	m.Run(polls)
+	if _, err := fmt.Fprintf(w, "# fleet events (%d boards, %d polls, seed %d)\n",
+		cfg.Boards, polls, cfg.Seed); err != nil {
+		return err
+	}
+	if err := m.Store().WriteText(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# health transitions"); err != nil {
+		return err
+	}
+	return m.WriteTransitions(w)
+}

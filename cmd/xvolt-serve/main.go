@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"xvolt/internal/core"
 	"xvolt/internal/obs"
@@ -40,13 +43,18 @@ func main() {
 	traceOut := flag.String("trace-out", "", "stream every trace event to this JSONL file ('-' = stderr)")
 	flag.Parse()
 
-	if err := run(*addr, *chipName, *benchList, *coreList, *runs, *seed, *metricsAddr, *traceOut); err != nil {
+	// SIGINT/SIGTERM cancel the context; both listeners drain and the
+	// process exits cleanly instead of dropping in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, *chipName, *benchList, *coreList, *runs, *seed, *metricsAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, chipName, benchList, coreList string, runs int, seed int64, metricsAddr, traceOut string) error {
+func run(ctx context.Context, addr, chipName, benchList, coreList string, runs int, seed int64, metricsAddr, traceOut string) error {
 	corner, err := silicon.ParseCorner(chipName)
 	if err != nil {
 		return err
@@ -75,7 +83,7 @@ func run(addr, chipName, benchList, coreList string, runs int, seed int64, metri
 		})
 		go func() {
 			log.Printf("metrics on %s", metricsAddr)
-			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+			if err := server.ListenAndServe(ctx, metricsAddr, mux, server.DefaultDrainTimeout); err != nil {
 				log.Printf("metrics listener: %v", err)
 			}
 		}()
@@ -105,7 +113,7 @@ func run(addr, chipName, benchList, coreList string, runs int, seed int64, metri
 	}()
 
 	log.Printf("serving on %s (chip %s, %d benchmarks, cores %v)", addr, chipName, len(benchmarks), cores)
-	return http.ListenAndServe(addr, srv.Handler())
+	return server.ListenAndServe(ctx, addr, srv.Handler(), server.DefaultDrainTimeout)
 }
 
 // openTraceSink opens the JSONL trace stream ('-' means stderr, so the

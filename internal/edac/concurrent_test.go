@@ -1,0 +1,79 @@
+package edac
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLogBoundedUnderConcurrentWriters hammers the driver from many
+// goroutines (the shape of a fleet of pollers sharing nothing but the
+// race detector) and checks the two bounding invariants: the retained
+// log never exceeds maxLog, and the counters account every report even
+// after log eviction.
+func TestLogBoundedUnderConcurrentWriters(t *testing.T) {
+	d := New()
+	const writers = 8
+	const perWriter = 1000 // writers × perWriter ≫ maxLog
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				loc := Location(i % int(numLocations))
+				if i%3 == 0 {
+					d.ReportUE(loc, w, 1)
+				} else {
+					d.ReportCE(loc, w, 2)
+				}
+				// Interleave readers with the writers: snapshots and log
+				// copies must never observe a torn or oversized state.
+				if i%97 == 0 {
+					if got := len(d.Log()); got > maxLog {
+						t.Errorf("log grew to %d mid-flight (max %d)", got, maxLog)
+						return
+					}
+					_ = d.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := len(d.Log()); got != maxLog {
+		t.Errorf("final log = %d entries, want exactly %d (bounded and full)", got, maxLog)
+	}
+	c := d.Snapshot()
+	wantUE := uint64(writers * ((perWriter + 2) / 3))
+	wantCE := uint64(writers*perWriter-writers*((perWriter+2)/3)) * 2
+	if c.TotalUE() != wantUE {
+		t.Errorf("TotalUE = %d, want %d (no reports lost to eviction)", c.TotalUE(), wantUE)
+	}
+	if c.TotalCE() != wantCE {
+		t.Errorf("TotalCE = %d, want %d", c.TotalCE(), wantCE)
+	}
+
+	// The retained tail is the newest events: every entry still has a
+	// valid location and positive count.
+	for _, e := range d.Log() {
+		if e.Count <= 0 || e.Loc < 0 || e.Loc >= numLocations {
+			t.Fatalf("corrupt retained event %+v", e)
+		}
+	}
+
+	// Reset under a concurrent reader leaves a clean driver.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = d.Log()
+			_ = d.Snapshot()
+		}
+	}()
+	d.Reset()
+	<-done
+	if len(d.Log()) != 0 || d.Snapshot().TotalCE() != 0 {
+		t.Error("reset driver not empty")
+	}
+}

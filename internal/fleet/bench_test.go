@@ -1,0 +1,20 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// BenchmarkFleetPoll measures steady-state poll throughput of a default-
+// sized (16-board, mixed-corner) fleet: schedule draw, worker-pool
+// execution of RunsPerPoll benchmark runs, and in-order commit to the
+// event store. One op is one committed poll.
+func BenchmarkFleetPoll(b *testing.B) {
+	cfg := Config{Seed: 1, StoreCap: 1 << 16}
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(64) // reach steady state before measuring
+	b.ResetTimer()
+	m.Run(b.N)
+}

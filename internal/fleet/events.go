@@ -1,0 +1,319 @@
+// Bounded fleet event store: the durable-ish record of what happened to
+// every board — undervolts applied, SDCs observed, guardbands widened,
+// boards rebooted, health transitions. It is the fleet analogue of the
+// per-board trace.Log, but typed (consumers filter by kind, not by string
+// matching), deduplicated (a board stuck in an SDC storm collapses into
+// one event with a multiplicity instead of flooding the buffer), and
+// retention-bounded both by capacity and by age.
+//
+// Time is injectable: the store stamps events through its clock hook, and
+// the Manager points that hook at the fleet's virtual clock, so the store
+// contents are a pure function of (Config, seed) — byte-identical across
+// runs, which the determinism tests pin.
+
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind types a fleet event.
+type EventKind int
+
+const (
+	// UndervoltApplied records an operating point being programmed on a
+	// board's rail (startup, after a guardband change, after a reboot).
+	UndervoltApplied EventKind = iota
+	// GuardbandWidened records the controller raising a board's margin
+	// after a health degradation.
+	GuardbandWidened
+	// GuardbandNarrowed records the controller reclaiming margin after a
+	// sustained healthy streak.
+	GuardbandNarrowed
+	// SDCObserved records a silent data corruption caught by output
+	// comparison during a poll.
+	SDCObserved
+	// CEBurst records corrected-error activity (EDAC CE delta > 0).
+	CEBurst
+	// UEDetected records uncorrected-but-detected errors (EDAC UE).
+	UEDetected
+	// AppCrash records a benchmark killed by the hardware (non-zero exit).
+	AppCrash
+	// BoardRebooted records a watchdog power cycle after a system crash.
+	BoardRebooted
+	// HealthChanged records a health-state transition.
+	HealthChanged
+)
+
+// String names the kind like a log tag.
+func (k EventKind) String() string {
+	switch k {
+	case UndervoltApplied:
+		return "undervolt-applied"
+	case GuardbandWidened:
+		return "guardband-widened"
+	case GuardbandNarrowed:
+		return "guardband-narrowed"
+	case SDCObserved:
+		return "sdc-observed"
+	case CEBurst:
+		return "ce-burst"
+	case UEDetected:
+		return "ue-detected"
+	case AppCrash:
+		return "app-crash"
+	case BoardRebooted:
+		return "board-rebooted"
+	case HealthChanged:
+		return "health-changed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON encodes the kind by name so the JSON schema survives enum
+// reordering.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one fleet occurrence. Count is the dedup multiplicity: how many
+// identical occurrences this entry stands for (≥ 1). At/LastAt bracket the
+// first and latest occurrence on the fleet's virtual clock.
+type Event struct {
+	Seq    uint64        `json:"seq"`
+	At     time.Duration `json:"at"`
+	LastAt time.Duration `json:"last_at,omitempty"`
+	Board  string        `json:"board"`
+	Kind   EventKind     `json:"kind"`
+	State  State         `json:"state,omitempty"`
+	MV     int           `json:"mv,omitempty"`
+	Count  int           `json:"count"`
+	Msg    string        `json:"msg"`
+}
+
+// String renders one line of the text dump. The format is part of the
+// determinism contract (two same-seed runs must dump byte-identical text),
+// so it includes every field that distinguishes events.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%06d %12s %-9s %-18s", e.Seq, formatAt(e.At), e.Board, e.Kind)
+	if e.Kind == HealthChanged {
+		fmt.Fprintf(&b, " state=%s", e.State)
+	}
+	if e.MV != 0 {
+		fmt.Fprintf(&b, " mv=%d", e.MV)
+	}
+	if e.Count > 1 {
+		fmt.Fprintf(&b, " x%d(last %s)", e.Count, formatAt(e.LastAt))
+	}
+	if e.Msg != "" {
+		b.WriteString(" ")
+		b.WriteString(e.Msg)
+	}
+	return b.String()
+}
+
+// formatAt renders a virtual timestamp with fixed millisecond precision so
+// dumps align and compare byte-for-byte.
+func formatAt(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64) + "s"
+}
+
+// dedupKey is the identity under which consecutive events collapse.
+type dedupKey struct {
+	board string
+	kind  EventKind
+	state State
+	mv    int
+	msg   string
+}
+
+// Store is the bounded, deduplicating fleet event store. Construct with
+// NewStore; a nil *Store is inert.
+type Store struct {
+	mu      sync.Mutex
+	events  []Event
+	seq     uint64
+	cap     int
+	window  time.Duration // dedup window (0 disables dedup)
+	maxAge  time.Duration // age-based retention (0 disables)
+	dropped uint64
+	// now is the injectable clock (virtual fleet time). It is consulted on
+	// every Append; the Manager points it at the committed poll time so
+	// store contents never depend on the wall clock.
+	now func() time.Duration
+	// lastByBoard indexes each board's most recent event for dedup.
+	lastByBoard map[string]int
+}
+
+// NewStore returns a store retaining up to capacity events (default 4096
+// if capacity ≤ 0), collapsing identical consecutive per-board events
+// within the dedup window, and dropping events older than maxAge relative
+// to the newest (0 disables age retention).
+func NewStore(capacity int, window, maxAge time.Duration) *Store {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Store{
+		cap:         capacity,
+		window:      window,
+		maxAge:      maxAge,
+		now:         func() time.Duration { return 0 },
+		lastByBoard: map[string]int{},
+	}
+}
+
+// SetClock injects the time source used to stamp appended events. Nil
+// restores the zero clock. Nil-safe.
+func (s *Store) SetClock(now func() time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	s.now = now
+}
+
+// Append records one event, stamping it from the store clock and applying
+// dedup and retention. Nil-safe.
+func (s *Store) Append(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.now()
+	key := dedupKey{board: e.Board, kind: e.Kind, state: e.State, mv: e.MV, msg: e.Msg}
+	if idx, ok := s.lastByBoard[e.Board]; ok && s.window > 0 && idx < len(s.events) {
+		last := &s.events[idx]
+		lastKey := dedupKey{board: last.Board, kind: last.Kind, state: last.State, mv: last.MV, msg: last.Msg}
+		ref := last.LastAt
+		if ref == 0 {
+			ref = last.At
+		}
+		if lastKey == key && at-ref <= s.window {
+			last.Count++
+			last.LastAt = at
+			return
+		}
+	}
+	s.seq++
+	e.Seq = s.seq
+	e.At = at
+	e.Count = 1
+	e.LastAt = 0
+	s.events = append(s.events, e)
+	s.lastByBoard[e.Board] = len(s.events) - 1
+	s.retainLocked(at)
+}
+
+// retainLocked applies capacity and age retention after an append.
+func (s *Store) retainLocked(newest time.Duration) {
+	drop := 0
+	if s.maxAge > 0 {
+		for drop < len(s.events)-1 && s.events[drop].At < newest-s.maxAge {
+			drop++
+		}
+	}
+	if over := len(s.events) - drop - s.cap; over > 0 {
+		drop += over
+	}
+	if drop == 0 {
+		return
+	}
+	s.dropped += uint64(drop)
+	s.events = append(s.events[:0], s.events[drop:]...)
+	for board, idx := range s.lastByBoard {
+		if idx < drop {
+			delete(s.lastByBoard, board)
+		} else {
+			s.lastByBoard[board] = idx - drop
+		}
+	}
+}
+
+// Events returns a copy of the retained events in order. Nil-safe.
+func (s *Store) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// EventsFor returns up to n most recent events of one board, oldest first
+// (n ≤ 0 means all). Nil-safe.
+func (s *Store) EventsFor(board string, n int) []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if e.Board == board {
+			out = append(out, e)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Len returns the retained event count. Nil-safe.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Dropped reports how many events retention evicted. Nil-safe.
+func (s *Store) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// CountKind tallies retained events of one kind, summing dedup
+// multiplicities. Nil-safe.
+func (s *Store) CountKind(k EventKind) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Kind == k {
+			n += e.Count
+		}
+	}
+	return n
+}
+
+// WriteText dumps the retained events one per line — the byte-comparable
+// form the determinism tests pin. Nil-safe.
+func (s *Store) WriteText(w io.Writer) error {
+	for _, e := range s.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStoreAppendAndOrder(t *testing.T) {
+	s := NewStore(16, 0, 0)
+	var now time.Duration
+	s.SetClock(func() time.Duration { return now })
+
+	now = time.Second
+	s.Append(Event{Board: "b0", Kind: UndervoltApplied, MV: 900})
+	now = 2 * time.Second
+	s.Append(Event{Board: "b1", Kind: SDCObserved, MV: 895})
+
+	ev := s.Events()
+	if len(ev) != 2 {
+		t.Fatalf("len = %d, want 2", len(ev))
+	}
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("seqs = %d,%d, want 1,2", ev[0].Seq, ev[1].Seq)
+	}
+	if ev[0].At != time.Second || ev[1].At != 2*time.Second {
+		t.Errorf("stamps = %v,%v", ev[0].At, ev[1].At)
+	}
+	if ev[0].Count != 1 {
+		t.Errorf("count = %d, want 1", ev[0].Count)
+	}
+}
+
+func TestStoreDedupCollapsesWithinWindow(t *testing.T) {
+	s := NewStore(16, 5*time.Second, 0)
+	var now time.Duration
+	s.SetClock(func() time.Duration { return now })
+
+	for i := 0; i < 4; i++ {
+		now = time.Duration(i) * time.Second
+		s.Append(Event{Board: "b0", Kind: CEBurst, MV: 880, Msg: "edac corrected errors"})
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (deduped)", s.Len())
+	}
+	e := s.Events()[0]
+	if e.Count != 4 {
+		t.Errorf("count = %d, want 4", e.Count)
+	}
+	if e.At != 0 || e.LastAt != 3*time.Second {
+		t.Errorf("At/LastAt = %v/%v", e.At, e.LastAt)
+	}
+	if s.CountKind(CEBurst) != 4 {
+		t.Errorf("CountKind = %d, want 4 (multiplicities)", s.CountKind(CEBurst))
+	}
+
+	// Outside the window: a fresh entry.
+	now = 20 * time.Second
+	s.Append(Event{Board: "b0", Kind: CEBurst, MV: 880, Msg: "edac corrected errors"})
+	if s.Len() != 2 {
+		t.Errorf("len = %d, want 2 after window expiry", s.Len())
+	}
+
+	// A different event in between breaks consecutiveness.
+	now = 21 * time.Second
+	s.Append(Event{Board: "b0", Kind: UndervoltApplied, MV: 880})
+	now = 22 * time.Second
+	s.Append(Event{Board: "b0", Kind: CEBurst, MV: 880, Msg: "edac corrected errors"})
+	if s.Len() != 4 {
+		t.Errorf("len = %d, want 4 (no dedup across interleaved kinds)", s.Len())
+	}
+}
+
+func TestStoreDedupIsPerBoard(t *testing.T) {
+	s := NewStore(16, time.Minute, 0)
+	s.Append(Event{Board: "b0", Kind: CEBurst, Msg: "x"})
+	s.Append(Event{Board: "b1", Kind: CEBurst, Msg: "x"})
+	s.Append(Event{Board: "b0", Kind: CEBurst, Msg: "x"})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (b0 deduped across interleaved b1)", s.Len())
+	}
+	if got := s.Events()[0].Count; got != 2 {
+		t.Errorf("b0 count = %d, want 2", got)
+	}
+}
+
+func TestStoreCapacityRetention(t *testing.T) {
+	s := NewStore(8, 0, 0)
+	var now time.Duration
+	s.SetClock(func() time.Duration { return now })
+	for i := 0; i < 20; i++ {
+		now = time.Duration(i) * time.Second
+		s.Append(Event{Board: "b0", Kind: SDCObserved, MV: i})
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d, want 8", s.Len())
+	}
+	if s.Dropped() != 12 {
+		t.Errorf("dropped = %d, want 12", s.Dropped())
+	}
+	ev := s.Events()
+	if ev[0].Seq != 13 || ev[len(ev)-1].Seq != 20 {
+		t.Errorf("retained seq range = [%d,%d], want [13,20]", ev[0].Seq, ev[len(ev)-1].Seq)
+	}
+	// Dedup index must survive eviction: the newest entry still dedups.
+	s2 := NewStore(4, time.Minute, 0)
+	s2.SetClock(func() time.Duration { return now })
+	for i := 0; i < 10; i++ {
+		s2.Append(Event{Board: "b0", Kind: SDCObserved, MV: i})
+	}
+	s2.Append(Event{Board: "b0", Kind: SDCObserved, MV: 9})
+	if got := s2.Events()[s2.Len()-1].Count; got != 2 {
+		t.Errorf("post-eviction dedup count = %d, want 2", got)
+	}
+}
+
+func TestStoreAgeRetention(t *testing.T) {
+	s := NewStore(100, 0, 10*time.Second)
+	var now time.Duration
+	s.SetClock(func() time.Duration { return now })
+	for i := 0; i < 30; i++ {
+		now = time.Duration(i) * time.Second
+		s.Append(Event{Board: "b0", Kind: CEBurst, MV: i})
+	}
+	for _, e := range s.Events() {
+		if e.At < now-10*time.Second {
+			t.Fatalf("event at %v older than retention horizon %v", e.At, now-10*time.Second)
+		}
+	}
+	if s.Dropped() == 0 {
+		t.Error("age retention dropped nothing")
+	}
+}
+
+func TestStoreEventsFor(t *testing.T) {
+	s := NewStore(100, 0, 0)
+	for i := 0; i < 5; i++ {
+		s.Append(Event{Board: "b0", Kind: SDCObserved, MV: i})
+		s.Append(Event{Board: "b1", Kind: CEBurst, MV: i})
+	}
+	all := s.EventsFor("b0", 0)
+	if len(all) != 5 {
+		t.Fatalf("EventsFor(b0) = %d events, want 5", len(all))
+	}
+	last2 := s.EventsFor("b0", 2)
+	if len(last2) != 2 || last2[0].MV != 3 || last2[1].MV != 4 {
+		t.Errorf("EventsFor(b0, 2) = %+v, want MVs 3,4", last2)
+	}
+}
+
+func TestStoreNilSafety(t *testing.T) {
+	var s *Store
+	s.Append(Event{Board: "b0"})
+	s.SetClock(nil)
+	if s.Events() != nil || s.Len() != 0 || s.Dropped() != 0 || s.CountKind(CEBurst) != 0 {
+		t.Error("nil store must be inert")
+	}
+	if s.EventsFor("b0", 1) != nil {
+		t.Error("nil store EventsFor must be nil")
+	}
+}
+
+func TestEventTextFormat(t *testing.T) {
+	s := NewStore(16, time.Minute, 0)
+	var now time.Duration
+	s.SetClock(func() time.Duration { return now })
+	now = 1500 * time.Millisecond
+	s.Append(Event{Board: "board-03", Kind: HealthChanged, State: Degraded, Msg: "ce=2"})
+	now = 2 * time.Second
+	s.Append(Event{Board: "board-03", Kind: HealthChanged, State: Degraded, Msg: "ce=2"})
+
+	var b strings.Builder
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "000001       1.500s board-03  health-changed     state=degraded x2(last 2.000s) ce=2\n"
+	if got != want {
+		t.Errorf("dump:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{UndervoltApplied, GuardbandWidened, GuardbandNarrowed,
+		SDCObserved, CEBurst, UEDetected, AppCrash, BoardRebooted, HealthChanged}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || strings.Contains(name, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,652 @@
+// Package fleet is the multi-board health and orchestration layer: a
+// datacenter's worth of simulated X-Gene 2 boards, each undervolted to
+// its characterized margin, continuously polled for health, and governed
+// by an online guardband controller — the layer that turns the paper's
+// single-board characterization (§2.2) and guardband harvesting (§3.2)
+// into a fleet-wide energy policy, in the spirit of the Scrooge-attack
+// fleet economics and the journal extension's characterization-as-a-
+// service setting.
+//
+// Determinism is inherited from the campaign engine's design point: every
+// board's fabrication, characterization, run and poll-interval streams
+// are seeded through core.CampaignSeed from (Config.Seed, board id), the
+// poll schedule runs on a virtual clock, and poll results commit to the
+// event store in global schedule order regardless of how many workers
+// execute them. Two managers with the same Config produce byte-identical
+// event stores and transition logs at any worker count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"xvolt/internal/core"
+	"xvolt/internal/energy"
+	"xvolt/internal/silicon"
+	"xvolt/internal/units"
+	"xvolt/internal/watchdog"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// Config sizes and seeds a fleet.
+type Config struct {
+	// Boards is the fleet size (default 16).
+	Boards int
+	// Seed is the master seed; every per-board stream derives from it
+	// through core.CampaignSeed.
+	Seed int64
+	// Workers bounds the poller worker pool (default 4). Results are
+	// independent of the worker count.
+	Workers int
+	// RunsPerPoll is how many benchmark runs one poll samples (default 2).
+	RunsPerPoll int
+	// ConfirmRuns is the bisection confirmation count used to
+	// characterize each board's floor at fleet start (default 3).
+	ConfirmRuns int
+	// BaseInterval is the mean poll interval on the virtual clock
+	// (default 1s); per-poll intervals are jittered around it.
+	BaseInterval time.Duration
+	// JitterFrac is the fractional interval jitter in (0, 1) (default
+	// 0.25; negative disables jitter). Jitter is drawn from each board's
+	// seeded interval stream, never from global randomness.
+	JitterFrac float64
+	// StoreCap bounds the event store (default 4096 events).
+	StoreCap int
+	// DedupWindow collapses identical consecutive per-board events closer
+	// together than this (default 3×BaseInterval; negative disables).
+	DedupWindow time.Duration
+	// RetainAge drops events older than this relative to the newest
+	// (0 disables age retention).
+	RetainAge time.Duration
+	// Corners are cycled across boards (default TTT, TFF, TSS — a mixed-
+	// silicon fleet).
+	Corners []silicon.Corner
+	// Health and Guardband parameterize the per-board state machine and
+	// margin controller (zero values take the defaults).
+	Health    HealthPolicy
+	Guardband GuardbandPolicy
+	// Weights are the severity weights for poll tallies (zero value takes
+	// core.PaperWeights).
+	Weights core.Weights
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Boards <= 0 {
+		c.Boards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.RunsPerPoll <= 0 {
+		c.RunsPerPoll = 2
+	}
+	if c.ConfirmRuns <= 0 {
+		c.ConfirmRuns = 3
+	}
+	if c.BaseInterval <= 0 {
+		c.BaseInterval = time.Second
+	}
+	if c.JitterFrac == 0 || c.JitterFrac >= 1 {
+		c.JitterFrac = 0.25
+	}
+	if c.JitterFrac < 0 {
+		c.JitterFrac = 0
+	}
+	if c.StoreCap <= 0 {
+		c.StoreCap = 4096
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 3 * c.BaseInterval
+	}
+	if c.DedupWindow < 0 {
+		c.DedupWindow = 0
+	}
+	if len(c.Corners) == 0 {
+		c.Corners = []silicon.Corner{silicon.TTT, silicon.TFF, silicon.TSS}
+	}
+	if c.Health == (HealthPolicy{}) {
+		c.Health = DefaultHealthPolicy()
+	}
+	if c.Guardband == (GuardbandPolicy{}) {
+		c.Guardband = DefaultGuardbandPolicy()
+	}
+	if c.Weights == (core.Weights{}) {
+		c.Weights = core.PaperWeights
+	}
+	return c
+}
+
+// board is one managed machine plus its health and guardband state. All
+// fields are touched only by the worker currently executing the board's
+// polls (polls of one board are strictly sequential); the Manager reads
+// nothing from it after startup — status snapshots travel inside poll
+// outcomes.
+type board struct {
+	id     string
+	index  int
+	corner silicon.Corner
+
+	machine *xgene.Machine
+	dog     *watchdog.Watchdog
+	spec    *workload.Spec
+	coreID  int
+
+	rng     *rand.Rand // run non-determinism stream
+	ivalRng *rand.Rand // poll-interval jitter stream
+
+	floor  units.MilliVolts // characterized safe Vmin
+	gb     guardband
+	health healthMachine
+
+	nextDue time.Duration
+
+	// lifetime counters (also snapshotted into BoardStatus).
+	polls, runs         int
+	sdcs, ces, ues, acs int
+}
+
+// BoardStatus is a board's externally visible state, snapshotted at the
+// board's latest committed poll.
+type BoardStatus struct {
+	ID         string          `json:"id"`
+	Corner     string          `json:"corner"`
+	Workload   string          `json:"workload"`
+	Core       int             `json:"core"`
+	State      State           `json:"state"`
+	FloorMV    int             `json:"floor_mv"`
+	MarginMV   int             `json:"margin_mv"`
+	VoltageMV  int             `json:"voltage_mv"`
+	Polls      int             `json:"polls"`
+	Runs       int             `json:"runs"`
+	SDCs       int             `json:"sdc_runs"`
+	CEs        uint64          `json:"ce_events"`
+	UEs        uint64          `json:"ue_events"`
+	ACs        int             `json:"ac_runs"`
+	Boots      int             `json:"boots"`
+	Recoveries int             `json:"watchdog_recoveries"`
+	Savings    float64         `json:"power_savings"`
+	LastPoll   time.Duration   `json:"last_poll"`
+	Frequency  units.MegaHertz `json:"frequency_mhz"`
+}
+
+// voltage returns the board's current operating point.
+func (b *board) voltage() units.MilliVolts { return b.gb.voltage(b.floor) }
+
+// savings is the fractional board power saving vs the nominal rail.
+func (b *board) savings() float64 { return energy.VoltageSavings(b.voltage()) }
+
+// status snapshots the board after its poll at `at`.
+func (b *board) status(at time.Duration) BoardStatus {
+	return BoardStatus{
+		ID:         b.id,
+		Corner:     b.corner.String(),
+		Workload:   b.spec.ID(),
+		Core:       b.coreID,
+		State:      b.health.state,
+		FloorMV:    int(b.floor),
+		MarginMV:   int(b.gb.marginMV()),
+		VoltageMV:  int(b.voltage()),
+		Polls:      b.polls,
+		Runs:       b.runs,
+		SDCs:       b.sdcs,
+		CEs:        uint64(b.ces),
+		UEs:        uint64(b.ues),
+		ACs:        b.acs,
+		Boots:      b.machine.BootCount(),
+		Recoveries: b.dog.Recoveries(),
+		Savings:    b.savings(),
+		LastPoll:   at,
+		Frequency:  units.MaxFrequency,
+	}
+}
+
+// applyOperatingPoint programs the board's reliable-cores setup (target
+// PMD at full speed, background PMDs slow) and the guardband-controlled
+// rail voltage. Errors are ignored by design: the machine is alive and
+// the values are on-grid, so these cannot fail; a concurrent crash is
+// recovered on the next poll.
+func (b *board) applyOperatingPoint() {
+	target := silicon.PMDOf(b.coreID)
+	for pmd := 0; pmd < silicon.NumPMDs; pmd++ {
+		f := units.MinFrequency
+		if pmd == target {
+			f = units.MaxFrequency
+		}
+		_ = b.machine.SetPMDFrequency(pmd, f)
+	}
+	_ = b.machine.SetPMDVoltage(b.voltage())
+}
+
+// nextInterval draws the board's next jittered poll interval from its
+// seeded interval stream.
+func (b *board) nextInterval(cfg *Config) time.Duration {
+	jitter := 1 + cfg.JitterFrac*(2*b.ivalRng.Float64()-1)
+	return time.Duration(float64(cfg.BaseInterval) * jitter)
+}
+
+// recover drives the watchdog until the machine answers again.
+func (b *board) recover() (rebooted bool) {
+	for probes := 0; !b.machine.Responsive(); probes++ {
+		if b.dog.Probe() == watchdog.Recovered {
+			rebooted = true
+		}
+		if probes > 16 {
+			// The watchdog threshold guarantees recovery long before this.
+			panic("fleet: watchdog failed to recover board " + b.id)
+		}
+	}
+	return rebooted
+}
+
+// pollOutcome is everything one poll produced, staged for in-order commit.
+type pollOutcome struct {
+	board      int
+	due        time.Duration
+	runs       int
+	rebooted   bool
+	events     []Event // Seq/At assigned by the store at commit
+	transition *Transition
+	status     BoardStatus
+}
+
+// poll executes one health poll: RunsPerPoll benchmark runs at the
+// operating point, classification from observables only (output
+// comparison, EDAC deltas, liveness), watchdog recovery on crashes,
+// health-machine update, and guardband reaction.
+func (b *board) poll(due time.Duration, cfg *Config) pollOutcome {
+	o := pollOutcome{board: b.index, due: due, runs: cfg.RunsPerPoll}
+	stage := func(e Event) {
+		e.Board = b.id
+		o.events = append(o.events, e)
+	}
+
+	var tally core.Tally
+	var sig Signal
+	mv := int(b.voltage())
+	for r := 0; r < cfg.RunsPerPoll; r++ {
+		before := b.machine.EDAC().Snapshot()
+		res, err := b.machine.RunOnCore(b.coreID, b.spec, b.rng)
+		var obsv core.Observation
+		switch {
+		case err != nil || !res.SystemUp:
+			// ErrUnresponsive or a crash during the run: the board is down.
+			obsv.SC = true
+		default:
+			delta := b.machine.EDAC().Snapshot().Sub(before)
+			obsv = core.Observation{
+				SDC: res.ExitCode == 0 && res.Output != b.spec.Golden(),
+				CE:  delta.TotalCE() > 0,
+				UE:  delta.TotalUE() > 0,
+				AC:  res.ExitCode != 0,
+			}
+			sig.CE += delta.TotalCE()
+			sig.UE += delta.TotalUE()
+		}
+		tally.Add(obsv)
+		if obsv.SDC {
+			sig.SDC = true
+			b.sdcs++
+			stage(Event{Kind: SDCObserved, MV: mv, Msg: "output mismatch at operating point"})
+		}
+		if obsv.CE {
+			b.ces++
+			stage(Event{Kind: CEBurst, MV: mv, Msg: "edac corrected errors"})
+		}
+		if obsv.UE {
+			b.ues++
+			stage(Event{Kind: UEDetected, MV: mv, Msg: "edac uncorrected errors"})
+		}
+		if obsv.AC {
+			sig.AC = true
+			b.acs++
+			stage(Event{Kind: AppCrash, MV: mv, Msg: "benchmark terminated abnormally"})
+		}
+		if obsv.SC {
+			if b.recover() {
+				sig.Rebooted = true
+				o.rebooted = true
+				stage(Event{Kind: BoardRebooted, MV: mv, Msg: "system hang, watchdog power cycle"})
+			}
+			// The reboot came up at nominal: re-program the operating point.
+			b.applyOperatingPoint()
+			stage(Event{Kind: UndervoltApplied, MV: int(b.voltage()), Msg: "operating point restored after reboot"})
+		}
+	}
+	b.polls++
+	b.runs += cfg.RunsPerPoll
+	sig.Severity = tally.Severity(cfg.Weights)
+
+	from := b.health.state
+	to, reason, changed := b.health.observe(sig, cfg.Health)
+	if changed {
+		o.transition = &Transition{Board: b.id, From: from, To: to, Reason: reason}
+		stage(Event{Kind: HealthChanged, State: to, Msg: reason})
+		if delta := b.gb.onTransition(to, cfg.Guardband); delta != 0 {
+			kind := GuardbandWidened
+			if delta < 0 {
+				kind = GuardbandNarrowed
+			}
+			stage(Event{Kind: kind, MV: int(b.gb.marginMV()),
+				Msg: fmt.Sprintf("margin %+d steps on %s", delta, to)})
+			b.applyOperatingPoint()
+			stage(Event{Kind: UndervoltApplied, MV: int(b.voltage()), Msg: "rail re-programmed"})
+		}
+	} else if b.health.state == Healthy {
+		if delta := b.gb.onHealthyPoll(cfg.Guardband); delta != 0 {
+			stage(Event{Kind: GuardbandNarrowed, MV: int(b.gb.marginMV()),
+				Msg: fmt.Sprintf("margin %+d step after healthy streak", delta)})
+			b.applyOperatingPoint()
+			stage(Event{Kind: UndervoltApplied, MV: int(b.voltage()), Msg: "rail re-programmed"})
+		}
+	}
+
+	o.status = b.status(due)
+	return o
+}
+
+// Manager owns the fleet: boards, schedule, event store, transition log
+// and telemetry. Run drives polls; the HTTP layer reads snapshots.
+type Manager struct {
+	cfg    Config
+	boards []*board
+
+	mu          sync.Mutex
+	store       *Store
+	clock       time.Duration // committed virtual time (store clock source)
+	status      []BoardStatus
+	transitions []Transition
+	tseq        uint64
+	polled      uint64
+	m           fleetMetrics
+
+	runMu sync.Mutex // serializes Run calls
+}
+
+// maxTransitions bounds the retained transition log.
+const maxTransitions = 8192
+
+// New builds the fleet: fabricates each board's die from a seed derived
+// off the master seed, characterizes its safe floor by bisection (the
+// fast §2.2 protocol), and programs the initial guardband operating
+// point. The returned manager has committed one UndervoltApplied event
+// per board at virtual time zero.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	suite := workload.PrimarySuite()
+	m := &Manager{
+		cfg:   cfg,
+		store: NewStore(cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge),
+	}
+	m.store.SetClock(func() time.Duration { return m.clock })
+
+	for i := 0; i < cfg.Boards; i++ {
+		b := &board{
+			id:     fmt.Sprintf("board-%02d", i),
+			index:  i,
+			corner: cfg.Corners[i%len(cfg.Corners)],
+			spec:   suite[i%len(suite)],
+			coreID: i % silicon.NumCores,
+		}
+		fabSeed := core.CampaignSeed(cfg.Seed, b.id, "fabrication", b.corner.String(), b.index)
+		b.machine = xgene.New(silicon.NewChip(b.corner, fabSeed))
+		b.dog = watchdog.New(b.machine, 2)
+		runSeed := core.CampaignSeed(cfg.Seed, b.id, b.spec.Name, b.spec.Input, b.coreID)
+		b.rng = rand.New(rand.NewSource(runSeed))
+		intervalSeed := core.CampaignSeed(cfg.Seed, b.id, "poll-interval", "", b.index)
+		b.ivalRng = rand.New(rand.NewSource(intervalSeed))
+
+		if err := m.characterize(b); err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", b.id, err)
+		}
+		b.gb = newGuardband(cfg.Guardband, b.floor)
+		b.applyOperatingPoint()
+		b.nextDue = b.nextInterval(&cfg)
+		m.boards = append(m.boards, b)
+	}
+
+	// Commit the initial operating points at virtual time zero, in board
+	// order — the store's first Boards entries.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock = 0
+	for _, b := range m.boards {
+		m.store.Append(Event{
+			Board: b.id, Kind: UndervoltApplied, MV: int(b.voltage()),
+			Msg: fmt.Sprintf("floor %v + margin %v", b.floor, b.gb.marginMV()),
+		})
+		m.m.events.With(UndervoltApplied.String()).Inc()
+		m.status = append(m.status, b.status(0))
+	}
+	return m, nil
+}
+
+// characterize finds a board's safe floor with the fast bisection
+// protocol on its own derived seed.
+func (m *Manager) characterize(b *board) error {
+	fw := core.New(b.machine)
+	ccfg := core.DefaultConfig([]*workload.Spec{b.spec}, []int{b.coreID})
+	characterizeSeed := core.CampaignSeed(m.cfg.Seed, b.id, "characterize", b.spec.ID(), b.coreID)
+	ccfg.Seed = characterizeSeed
+	res, err := fw.FindVminFast(b.spec, b.coreID, ccfg, m.cfg.ConfirmRuns)
+	if err != nil {
+		return err
+	}
+	b.floor = res.SafeVmin
+	return nil
+}
+
+// takeSlots draws the next n polls off the virtual schedule, in global
+// (due time, board index) order. The schedule depends only on the seeded
+// interval streams, never on poll results, so it is identical across
+// runs and worker counts.
+func (m *Manager) takeSlots(n int) []pollSlot {
+	out := make([]pollSlot, 0, n)
+	for len(out) < n {
+		min := -1
+		for i, b := range m.boards {
+			if min < 0 || b.nextDue < m.boards[min].nextDue {
+				min = i
+			}
+		}
+		b := m.boards[min]
+		out = append(out, pollSlot{board: min, due: b.nextDue})
+		b.nextDue += b.nextInterval(&m.cfg)
+	}
+	return out
+}
+
+// pollSlot is one scheduled poll.
+type pollSlot struct {
+	board int
+	due   time.Duration
+}
+
+// Run executes the next `polls` scheduled polls on the worker pool and
+// commits their outcomes to the event store in schedule order. Chunking
+// is immaterial: Run(100) twice commits exactly what Run(200) would.
+// Run calls are serialized; snapshot readers may run concurrently.
+func (m *Manager) Run(polls int) {
+	if polls <= 0 {
+		return
+	}
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+
+	slots := m.takeSlots(polls)
+	jobs := make([][]int, len(m.boards))
+	for si, s := range slots {
+		jobs[s.board] = append(jobs[s.board], si)
+	}
+	outcomes := make([]pollOutcome, len(slots))
+
+	workCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < m.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range workCh {
+				b := m.boards[bi]
+				for _, si := range jobs[bi] {
+					outcomes[si] = b.poll(slots[si].due, &m.cfg)
+				}
+			}
+		}()
+	}
+	for bi := range m.boards {
+		if len(jobs[bi]) > 0 {
+			workCh <- bi
+		}
+	}
+	close(workCh)
+	wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for si := range outcomes {
+		m.commitLocked(&outcomes[si])
+	}
+	m.publishGaugesLocked()
+}
+
+// commitLocked folds one poll outcome into the store, transition log,
+// status table and counters, advancing the virtual clock to the poll's
+// due time (which stamps the appended events).
+func (m *Manager) commitLocked(o *pollOutcome) {
+	m.clock = o.due
+	for _, e := range o.events {
+		m.store.Append(e)
+		m.m.events.With(e.Kind.String()).Inc()
+	}
+	if t := o.transition; t != nil {
+		m.tseq++
+		t.Seq = m.tseq
+		t.At = o.due
+		m.transitions = append(m.transitions, *t)
+		if len(m.transitions) > maxTransitions {
+			m.transitions = m.transitions[len(m.transitions)-maxTransitions:]
+		}
+		m.m.transitions.With(t.To.String()).Inc()
+	}
+	m.status[o.board] = o.status
+	m.polled++
+	m.m.polls.Inc()
+	m.m.runs.Add(float64(o.runs))
+	if o.rebooted {
+		m.m.reboots.Inc()
+	}
+}
+
+// Store returns the fleet event store.
+func (m *Manager) Store() *Store { return m.store }
+
+// Boards returns a snapshot of every board's latest committed status.
+func (m *Manager) Boards() []BoardStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]BoardStatus(nil), m.status...)
+}
+
+// Board returns one board's latest committed status by id.
+func (m *Manager) Board(id string) (BoardStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.status {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return BoardStatus{}, false
+}
+
+// Transitions returns a copy of the retained health-transition log.
+func (m *Manager) Transitions() []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Transition(nil), m.transitions...)
+}
+
+// WriteTransitions dumps the transition log one per line — the second
+// byte-comparable artifact of the determinism contract.
+func (m *Manager) WriteTransitions(w io.Writer) error {
+	return writeTransitions(w, m.Transitions())
+}
+
+// Polled reports the total committed poll count.
+func (m *Manager) Polled() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.polled
+}
+
+// Now returns the fleet's committed virtual time.
+func (m *Manager) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// StateCount is one health state's board population.
+type StateCount struct {
+	State  State `json:"state"`
+	Boards int   `json:"boards"`
+}
+
+// HealthSummary is the fleet-wide aggregation served by /api/fleet/health.
+type HealthSummary struct {
+	Boards        int           `json:"boards"`
+	Polls         uint64        `json:"polls"`
+	Events        int           `json:"events"`
+	DroppedEvents uint64        `json:"dropped_events"`
+	Transitions   int           `json:"transitions"`
+	States        []StateCount  `json:"states"`
+	Status        string        `json:"status"`
+	MeanSavings   float64       `json:"mean_power_savings"`
+	VirtualNow    time.Duration `json:"virtual_now"`
+}
+
+// Health aggregates the fleet's current state.
+func (m *Manager) Health() HealthSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var counts [numStates]int
+	var savings float64
+	for _, s := range m.status {
+		if s.State >= 0 && s.State < numStates {
+			counts[s.State]++
+		}
+		savings += s.Savings
+	}
+	h := HealthSummary{
+		Boards:        len(m.status),
+		Polls:         m.polled,
+		Events:        m.store.Len(),
+		DroppedEvents: m.store.Dropped(),
+		Transitions:   len(m.transitions),
+		VirtualNow:    m.clock,
+	}
+	for _, st := range States {
+		h.States = append(h.States, StateCount{State: st, Boards: counts[st]})
+	}
+	switch {
+	case counts[Unhealthy] > 0:
+		h.Status = "unhealthy"
+	case counts[Degraded] > 0 || counts[Recovering] > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	if len(m.status) > 0 {
+		h.MeanSavings = savings / float64(len(m.status))
+	}
+	return h
+}
+
+// ErrNoBoard is returned by API layers for unknown board ids.
+var ErrNoBoard = errors.New("fleet: no such board")

@@ -1,0 +1,129 @@
+// Online guardband control: the piece that closes the loop from
+// characterization to fleet-wide energy policy. Each board operates at
+//
+//	V_op = floor + steps·5 mV
+//
+// where floor is its characterized safe Vmin (bisection at fleet start)
+// and steps is the live margin. Health transitions widen the margin
+// (spending energy to buy reliability); sustained healthy streaks narrow
+// it back toward the minimum (reclaiming the paper's §3.2 savings). The
+// margin never leaves [MinSteps, nominal]; the controller therefore
+// hovers each board just above its true operating Vmin — the fleet-scale
+// version of the paper's per-board guardband harvesting.
+
+package fleet
+
+import (
+	"xvolt/internal/units"
+)
+
+// GuardbandPolicy parameterizes the controller.
+type GuardbandPolicy struct {
+	// InitialSteps is the starting margin above the characterized floor,
+	// in 5 mV grid steps.
+	InitialSteps int
+	// MinSteps is the narrowest margin the controller will hold (the
+	// standing guardband against fast transients).
+	MinSteps int
+	// WidenDegraded/WidenUnhealthy/WidenRecovering are the steps added on
+	// a transition into the respective state.
+	WidenDegraded, WidenUnhealthy, WidenRecovering int
+	// NarrowAfter is the healthy-poll streak that narrows one step.
+	NarrowAfter int
+}
+
+// DefaultGuardbandPolicy returns a controller tuned to hover a board a
+// couple of grid steps above its floor.
+func DefaultGuardbandPolicy() GuardbandPolicy {
+	return GuardbandPolicy{
+		InitialSteps:    3,
+		MinSteps:        1,
+		WidenDegraded:   1,
+		WidenUnhealthy:  2,
+		WidenRecovering: 4,
+		NarrowAfter:     8,
+	}
+}
+
+// guardband is one board's controller state.
+type guardband struct {
+	steps      int // current margin in grid steps
+	maxSteps   int // nominal − floor, in steps
+	healthyRun int // consecutive healthy polls since last change
+}
+
+// newGuardband initializes the margin for a board whose floor leaves the
+// given headroom to nominal.
+func newGuardband(pol GuardbandPolicy, floor units.MilliVolts) guardband {
+	max := int((units.NominalPMD - floor) / units.VoltageStep)
+	if max < 0 {
+		max = 0
+	}
+	g := guardband{maxSteps: max}
+	g.steps = g.clamp(pol.InitialSteps, pol)
+	return g
+}
+
+// clamp bounds a step count into [MinSteps, maxSteps].
+func (g *guardband) clamp(steps int, pol GuardbandPolicy) int {
+	if steps < pol.MinSteps {
+		steps = pol.MinSteps
+	}
+	if steps > g.maxSteps {
+		steps = g.maxSteps
+	}
+	return steps
+}
+
+// widenFor returns the widening amount a transition into a state asks for.
+func (pol GuardbandPolicy) widenFor(to State) int {
+	switch to {
+	case Degraded:
+		return pol.WidenDegraded
+	case Unhealthy:
+		return pol.WidenUnhealthy
+	case Recovering:
+		return pol.WidenRecovering
+	default:
+		return 0
+	}
+}
+
+// onTransition reacts to a health transition and returns the step delta
+// actually applied (0 when already at a bound).
+func (g *guardband) onTransition(to State, pol GuardbandPolicy) int {
+	g.healthyRun = 0
+	want := pol.widenFor(to)
+	if want == 0 {
+		return 0
+	}
+	next := g.clamp(g.steps+want, pol)
+	delta := next - g.steps
+	g.steps = next
+	return delta
+}
+
+// onHealthyPoll counts a clean poll in the healthy state and returns -1
+// when the narrow streak is reached (0 otherwise).
+func (g *guardband) onHealthyPoll(pol GuardbandPolicy) int {
+	g.healthyRun++
+	if pol.NarrowAfter <= 0 || g.healthyRun < pol.NarrowAfter {
+		return 0
+	}
+	g.healthyRun = 0
+	next := g.clamp(g.steps-1, pol)
+	delta := next - g.steps
+	g.steps = next
+	return delta
+}
+
+// voltage returns the operating point for a floor under this margin.
+func (g *guardband) voltage(floor units.MilliVolts) units.MilliVolts {
+	v := floor + units.MilliVolts(g.steps)*units.VoltageStep
+	return units.ClampVoltage(v, floor, units.NominalPMD)
+}
+
+// marginMV returns the current margin in millivolts.
+func (g *guardband) marginMV() units.MilliVolts {
+	return units.MilliVolts(g.steps) * units.VoltageStep
+}

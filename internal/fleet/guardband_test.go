@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"testing"
+
+	"xvolt/internal/units"
+)
+
+func TestGuardbandInitAndVoltage(t *testing.T) {
+	pol := DefaultGuardbandPolicy()
+	floor := units.MilliVolts(900)
+	g := newGuardband(pol, floor)
+	if g.steps != pol.InitialSteps {
+		t.Fatalf("initial steps = %d, want %d", g.steps, pol.InitialSteps)
+	}
+	if v := g.voltage(floor); v != floor+units.MilliVolts(pol.InitialSteps)*units.VoltageStep {
+		t.Errorf("voltage = %v", v)
+	}
+	if g.marginMV() != units.MilliVolts(pol.InitialSteps)*units.VoltageStep {
+		t.Errorf("margin = %v", g.marginMV())
+	}
+
+	// A floor at nominal leaves no headroom: margin collapses to zero and
+	// the rail pins at nominal.
+	g2 := newGuardband(pol, units.NominalPMD)
+	if g2.steps != 0 || g2.voltage(units.NominalPMD) != units.NominalPMD {
+		t.Errorf("no-headroom guardband = %d steps, %v", g2.steps, g2.voltage(units.NominalPMD))
+	}
+}
+
+func TestGuardbandWidensOnTransitions(t *testing.T) {
+	pol := DefaultGuardbandPolicy()
+	floor := units.MilliVolts(900) // 16 steps of headroom
+	g := newGuardband(pol, floor)
+
+	if d := g.onTransition(Degraded, pol); d != pol.WidenDegraded {
+		t.Errorf("degraded delta = %d, want %d", d, pol.WidenDegraded)
+	}
+	if d := g.onTransition(Unhealthy, pol); d != pol.WidenUnhealthy {
+		t.Errorf("unhealthy delta = %d, want %d", d, pol.WidenUnhealthy)
+	}
+	if d := g.onTransition(Recovering, pol); d != pol.WidenRecovering {
+		t.Errorf("recovering delta = %d, want %d", d, pol.WidenRecovering)
+	}
+	// Transition back to healthy widens nothing.
+	if d := g.onTransition(Healthy, pol); d != 0 {
+		t.Errorf("healthy delta = %d, want 0", d)
+	}
+	// Widening clamps at the nominal ceiling.
+	g.steps = g.maxSteps
+	if d := g.onTransition(Recovering, pol); d != 0 {
+		t.Errorf("delta at ceiling = %d, want 0", d)
+	}
+	if g.voltage(floor) != units.NominalPMD {
+		t.Errorf("ceiling voltage = %v, want nominal", g.voltage(floor))
+	}
+}
+
+func TestGuardbandNarrowsAfterStreak(t *testing.T) {
+	pol := DefaultGuardbandPolicy()
+	g := newGuardband(pol, 900)
+
+	for i := 0; i < pol.NarrowAfter-1; i++ {
+		if d := g.onHealthyPoll(pol); d != 0 {
+			t.Fatalf("poll %d narrowed early", i+1)
+		}
+	}
+	if d := g.onHealthyPoll(pol); d != -1 {
+		t.Fatalf("streak delta = %d, want -1", d)
+	}
+	// The streak counter restarts after a narrow.
+	if d := g.onHealthyPoll(pol); d != 0 {
+		t.Error("narrow must reset the streak")
+	}
+	// Narrowing stops at MinSteps.
+	g.steps = pol.MinSteps
+	g.healthyRun = pol.NarrowAfter - 1
+	if d := g.onHealthyPoll(pol); d != 0 {
+		t.Errorf("delta at floor = %d, want 0", d)
+	}
+	// A transition resets the healthy streak.
+	g.healthyRun = pol.NarrowAfter - 1
+	g.onTransition(Degraded, pol)
+	if g.healthyRun != 0 {
+		t.Error("transition must reset the healthy streak")
+	}
+}

@@ -1,0 +1,76 @@
+// Fleet telemetry: per-health-state board gauges (the Prometheus surface
+// the acceptance criteria pin against the event store), event counters by
+// kind, per-board rail/margin gauges, and the fleet's mean power savings.
+
+package fleet
+
+import (
+	"xvolt/internal/obs"
+)
+
+// fleetMetrics are the manager's instruments; all nil (inert) until
+// SetMetrics attaches a registry.
+type fleetMetrics struct {
+	polls       *obs.Counter
+	runs        *obs.Counter
+	reboots     *obs.Counter
+	events      *obs.CounterVec // kind
+	transitions *obs.CounterVec // to-state
+	stateBoards *obs.GaugeVec   // state → number of boards
+	boardMV     *obs.GaugeVec   // board → operating rail mV
+	boardMargin *obs.GaugeVec   // board → guardband margin mV
+	savingsMean *obs.Gauge      // mean fractional power savings vs nominal
+}
+
+// SetMetrics registers the fleet's telemetry on r. The per-state gauges
+// are pre-seeded for every health state so a scrape always exposes the
+// full (bounded) label space. Nil registry leaves the fleet unmetered.
+func (m *Manager) SetMetrics(r *obs.Registry) {
+	fm := fleetMetrics{
+		polls: r.Counter("xvolt_fleet_polls_total",
+			"Board polls executed across the fleet."),
+		runs: r.Counter("xvolt_fleet_runs_total",
+			"Benchmark runs executed by fleet polls."),
+		reboots: r.Counter("xvolt_fleet_reboots_total",
+			"Watchdog power cycles across the fleet."),
+		events: r.CounterVec("xvolt_fleet_events_total",
+			"Fleet events recorded, by kind (dedup multiplicities counted).", "kind"),
+		transitions: r.CounterVec("xvolt_fleet_transitions_total",
+			"Health-state transitions, by destination state.", "state"),
+		stateBoards: r.GaugeVec("xvolt_fleet_boards",
+			"Boards currently in each health state.", "state"),
+		boardMV: r.GaugeVec("xvolt_fleet_board_voltage_mv",
+			"Operating PMD rail voltage per board.", "board"),
+		boardMargin: r.GaugeVec("xvolt_fleet_board_guardband_mv",
+			"Guardband margin above the characterized floor per board.", "board"),
+		savingsMean: r.Gauge("xvolt_fleet_power_savings_mean",
+			"Mean fractional power savings across the fleet vs nominal rail."),
+	}
+	for _, st := range States {
+		fm.stateBoards.With(st.String())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m = fm
+	m.publishGaugesLocked()
+}
+
+// publishGaugesLocked refreshes every gauge from current board state.
+func (m *Manager) publishGaugesLocked() {
+	var counts [numStates]int
+	var savings float64
+	for _, b := range m.boards {
+		if b.health.state >= 0 && b.health.state < numStates {
+			counts[b.health.state]++
+		}
+		m.m.boardMV.With(b.id).Set(float64(b.voltage()))
+		m.m.boardMargin.With(b.id).Set(float64(b.gb.marginMV()))
+		savings += b.savings()
+	}
+	for _, st := range States {
+		m.m.stateBoards.With(st.String()).Set(float64(counts[st]))
+	}
+	if len(m.boards) > 0 {
+		m.m.savingsMean.Set(savings / float64(len(m.boards)))
+	}
+}

@@ -37,6 +37,7 @@ func DefaultConfig() Config {
 			"xvolt/internal/counters",
 			"xvolt/internal/energy",
 			"xvolt/internal/sched",
+			"xvolt/internal/fleet",
 			// obs is scoped so span timing stays visible to the rule …
 			"xvolt/internal/obs",
 		},
@@ -52,6 +53,7 @@ func DefaultConfig() Config {
 			"xvolt/internal/experiments",
 			"xvolt/internal/predict",
 			"xvolt/internal/regress",
+			"xvolt/internal/fleet",
 		},
 		SeedSources: []string{
 			"xvolt/internal/core.CampaignSeed",

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestResultsCSVShape parses the /api/results.csv payload with a real CSV
+// reader and cross-checks it against the JSON endpoint: same campaigns,
+// same step counts, consistent rows.
+func TestResultsCSVShape(t *testing.T) {
+	s, _ := studyServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/api/results.csv")
+	if code != 200 {
+		t.Fatalf("csv = %d", code)
+	}
+	rows, err := csv.NewReader(strings.NewReader(body)).ReadAll()
+	if err != nil {
+		t.Fatalf("payload is not well-formed CSV: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("csv has no data rows")
+	}
+	header := rows[0]
+	cols := map[string]int{}
+	for i, h := range header {
+		cols[h] = i
+	}
+	for _, want := range []string{"chip", "benchmark", "voltage_mv", "runs", "severity"} {
+		if _, ok := cols[want]; !ok {
+			t.Errorf("csv header missing %q (header = %v)", want, header)
+		}
+	}
+
+	_, jsonBody := get(t, ts, "/api/results")
+	var campaigns []struct {
+		Steps []struct {
+			VoltageMV int `json:"voltage_mv"`
+			Runs      int `json:"runs"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &campaigns); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 0
+	for _, c := range campaigns {
+		wantRows += len(c.Steps)
+	}
+	if got := len(rows) - 1; got != wantRows {
+		t.Errorf("csv has %d data rows, JSON has %d steps", got, wantRows)
+	}
+
+	// Row data is internally consistent with the JSON view.
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(row), len(header))
+		}
+		v, err := strconv.Atoi(row[cols["voltage_mv"]])
+		if err != nil || v%5 != 0 {
+			t.Errorf("row %d voltage %q not on the 5 mV grid", i, row[cols["voltage_mv"]])
+		}
+		if runs, _ := strconv.Atoi(row[cols["runs"]]); runs <= 0 {
+			t.Errorf("row %d has %d runs", i, runs)
+		}
+	}
+}
+
+// TestTraceTailBounds exercises the /api/trace query-parameter edge
+// cases: the default tail, a tail larger than the log, and the
+// one-event tail.
+func TestTraceTailBounds(t *testing.T) {
+	s, fw := studyServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	total := len(fw.Trace().Events())
+	if total <= 100 {
+		t.Fatalf("study produced only %d trace events; the default-tail case needs > 100", total)
+	}
+
+	// Default: last 100 events.
+	code, body := get(t, ts, "/api/trace")
+	if code != 200 {
+		t.Fatalf("trace = %d", code)
+	}
+	if lines := strings.Count(body, "\n"); lines != 100 {
+		t.Errorf("default tail = %d lines, want 100", lines)
+	}
+
+	// n beyond the log length returns everything, no padding.
+	code, body = get(t, ts, "/api/trace?n="+strconv.Itoa(total*2))
+	if code != 200 {
+		t.Fatalf("big-n trace = %d", code)
+	}
+	if lines := strings.Count(body, "\n"); lines != total {
+		t.Errorf("oversized tail = %d lines, want all %d", lines, total)
+	}
+
+	// n=1 returns exactly the newest event, matching the log's own tail.
+	_, body = get(t, ts, "/api/trace?n=1")
+	events := fw.Trace().Events()
+	if want := events[len(events)-1].String() + "\n"; body != want {
+		t.Errorf("n=1 tail = %q, want %q", body, want)
+	}
+
+	// Negative n is rejected like the other malformed forms.
+	if code, _ := get(t, ts, "/api/trace?n=-3"); code != 400 {
+		t.Errorf("n=-3 = %d, want 400", code)
+	}
+}

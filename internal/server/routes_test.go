@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xvolt/internal/obs"
+)
+
+// TestUnknownRouteLabelBounded is the regression test for metric label
+// cardinality: every request outside the route table must be counted
+// under the single "other" label, never under its own path, no matter
+// how many distinct paths a client probes.
+func TestUnknownRouteLabelBounded(t *testing.T) {
+	s := New(nil)
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	probes := []string{"/nope", "/deep/probe/path", "/api/fleetzzz", "/..%2f"}
+	for _, p := range probes {
+		if code, _ := get(t, ts, p); code != 404 {
+			t.Fatalf("%s = %d, want 404", p, code)
+		}
+	}
+	// The real index still counts under its own "/" label.
+	if code, _ := get(t, ts, "/"); code != 200 {
+		t.Fatal("index broken")
+	}
+
+	_, body := get(t, ts, "/metrics")
+	if !strings.Contains(body, `xvolt_http_requests_total{route="other",code="404"} 4`) {
+		t.Errorf("probes not collapsed into the other label:\n%s", grepLines(body, "xvolt_http_requests_total"))
+	}
+	if !strings.Contains(body, `xvolt_http_requests_total{route="/",code="200"} 1`) {
+		t.Errorf("index request not counted under /:\n%s", grepLines(body, "xvolt_http_requests_total"))
+	}
+	for _, p := range probes {
+		if strings.Contains(body, p) {
+			t.Errorf("probed path %q minted a label", p)
+		}
+	}
+	// Latency histograms follow the same labeling.
+	if !strings.Contains(body, `xvolt_http_request_seconds_count{route="other"} 4`) {
+		t.Errorf("latency not collapsed:\n%s", grepLines(body, "xvolt_http_request_seconds_count"))
+	}
+}
+
+// The route table itself (used to pre-seed latency families) includes the
+// fleet patterns and the other label.
+func TestRouteTable(t *testing.T) {
+	want := map[string]bool{
+		"/api/fleet": false, "/api/fleet/health": false,
+		"/api/fleet/{board}/events": false, otherRoute: false, "/": false,
+	}
+	for _, r := range routes {
+		if _, ok := want[r]; ok {
+			want[r] = true
+		}
+	}
+	for r, seen := range want {
+		if !seen {
+			t.Errorf("routes table missing %q", r)
+		}
+	}
+}
+
+// grepLines filters an exposition body for error messages.
+func grepLines(body, needle string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

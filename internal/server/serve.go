@@ -1,0 +1,58 @@
+// Graceful HTTP serving: the daemons' shared listener lifecycle. A bare
+// http.ListenAndServe can neither be stopped nor drained; these helpers
+// tie a server to a context so SIGINT/SIGTERM (via signal.NotifyContext
+// in the mains) shuts the listener down, lets in-flight requests finish
+// within a drain timeout, and then returns cleanly.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long Shutdown waits for in-flight
+// requests once the context is cancelled.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Serve runs h on the listener until ctx is cancelled, then drains
+// in-flight requests for up to drain (DefaultDrainTimeout if ≤ 0) and
+// returns. The listener is always closed on return. A clean shutdown
+// returns nil, not http.ErrServerClosed.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	srv := &http.Server{Handler: h}
+
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		done <- srv.Shutdown(shutdownCtx)
+	}()
+
+	err := srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		// The listener failed outright; unblock the shutdown goroutine's
+		// eventual send and report the serve error.
+		return err
+	}
+	// Serve returned because Shutdown was called: surface any drain error.
+	return <-done
+}
+
+// ListenAndServe binds addr and calls Serve. It exists so the daemons'
+// mains stay one-liners; tests bind their own listeners (port 0) and use
+// Serve directly.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, h, drain)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// slowHandler signals entry, then blocks until released.
+type slowHandler struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	close(h.entered)
+	<-h.release
+	io.WriteString(w, "done")
+}
+
+func TestServeDrainsInflightOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := &slowHandler{entered: make(chan struct{}), release: make(chan struct{})}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, h, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String() + "/"
+	type result struct {
+		body string
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		reqDone <- result{body: string(b), err: err}
+	}()
+
+	// Once the request is in flight, cancel the context (the daemon's
+	// SIGTERM); then release the handler. The request must still complete.
+	<-h.entered
+	cancel()
+	// Give Shutdown a moment to start refusing new connections, then let
+	// the in-flight request finish.
+	time.Sleep(20 * time.Millisecond)
+	close(h.release)
+
+	res := <-reqDone
+	if res.err != nil || res.body != "done" {
+		t.Errorf("in-flight request = %q, %v; want drained to completion", res.body, res.err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve returned %v on clean shutdown, want nil", err)
+	}
+	// The listener is closed: new connections fail.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestServeDrainTimeoutGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := &slowHandler{entered: make(chan struct{}), release: make(chan struct{})}
+	defer close(h.release)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, h, 50*time.Millisecond) }()
+
+	go http.Get("http://" + ln.Addr().String() + "/")
+	<-h.entered
+	cancel()
+
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Error("Serve = nil, want drain-timeout error for a stuck handler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain timeout")
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ListenAndServe(ctx, "256.256.256.256:http", http.NotFoundHandler(), 0); err == nil {
+		t.Error("bad address must fail to bind")
+	}
+}
+
+func TestServeStopsPromptlyWhenIdle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, http.NotFoundHandler(), 0) }()
+	// A served request, then shutdown with nothing in flight.
+	http.Get("http://" + ln.Addr().String() + "/")
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("idle shutdown = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle Serve did not stop")
+	}
+}

@@ -15,18 +15,20 @@ import (
 
 	"xvolt/internal/core"
 	"xvolt/internal/csvutil"
+	"xvolt/internal/fleet"
 	"xvolt/internal/obs"
 	"xvolt/internal/units"
 )
 
-// Server publishes one framework's study.
+// Server publishes one framework's study and, optionally, a fleet.
 type Server struct {
 	mu      sync.Mutex
 	fw      *core.Framework
 	results []*core.CampaignResult
 	weights core.Weights
 
-	metrics atomic.Pointer[httpMetrics]
+	fleetMgr atomic.Pointer[fleet.Manager]
+	metrics  atomic.Pointer[httpMetrics]
 }
 
 // httpMetrics are the per-endpoint request instruments plus the registry
@@ -40,12 +42,27 @@ type httpMetrics struct {
 // routes are the served patterns, known up front so the latency families
 // can be pre-seeded and the path label space stays bounded — a request
 // label must never be attacker-chosen.
-var routes = []string{"/healthz", "/metrics", "/api/status", "/api/results", "/api/results.csv", "/api/trace", "/"}
+var routes = []string{"/healthz", "/metrics", "/api/status", "/api/results",
+	"/api/results.csv", "/api/trace",
+	"/api/fleet", "/api/fleet/health", "/api/fleet/{board}/events",
+	"/", otherRoute}
 
-// New wraps a framework (which may still be running campaigns). Results
-// are published with SetResults as they are parsed.
+// otherRoute is the single label under which every request that matches
+// no registered route is counted, keeping the metric cardinality bounded
+// no matter what paths clients probe.
+const otherRoute = "other"
+
+// New wraps a framework (which may still be running campaigns; may be nil
+// for a fleet-only server). Results are published with SetResults as they
+// are parsed.
 func New(fw *core.Framework) *Server {
 	return &Server{fw: fw, weights: core.PaperWeights}
+}
+
+// SetFleet attaches (or, with nil, detaches) a fleet manager; the
+// /api/fleet endpoints serve from it. Safe to call while serving.
+func (s *Server) SetFleet(m *fleet.Manager) {
+	s.fleetMgr.Store(m)
 }
 
 // SetMetrics attaches a registry: every endpoint gains request counting
@@ -99,6 +116,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // route wraps one handler with the telemetry middleware. The route label
 // is the mux pattern, not the request path, so cardinality stays fixed.
+// The catch-all "/" pattern also matches every path outside the route
+// table; those requests all collapse into the single "other" label so an
+// attacker probing random paths cannot mint new label values.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics.Load()
@@ -106,11 +126,15 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 			h(w, r)
 			return
 		}
-		span := obs.StartSpan(m.latency.With(pattern))
+		label := pattern
+		if pattern == "/" && r.URL.Path != "/" {
+			label = otherRoute
+		}
+		span := obs.StartSpan(m.latency.With(label))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		span.End()
-		m.requests.With(pattern, strconv.Itoa(sw.code)).Inc()
+		m.requests.With(label, strconv.Itoa(sw.code)).Inc()
 	})
 }
 
@@ -123,8 +147,64 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "/api/results", s.handleResultsJSON)
 	s.route(mux, "/api/results.csv", s.handleResultsCSV)
 	s.route(mux, "/api/trace", s.handleTrace)
+	s.route(mux, "/api/fleet", s.handleFleet)
+	s.route(mux, "/api/fleet/health", s.handleFleetHealth)
+	s.route(mux, "/api/fleet/{board}/events", s.handleFleetEvents)
 	s.route(mux, "/", s.handleIndex)
 	return mux
+}
+
+// fleetOr404 resolves the attached fleet manager or fails the request.
+func (s *Server) fleetOr404(w http.ResponseWriter) *fleet.Manager {
+	m := s.fleetMgr.Load()
+	if m == nil {
+		http.Error(w, "no fleet attached", http.StatusNotFound)
+	}
+	return m
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	m := s.fleetOr404(w)
+	if m == nil {
+		return
+	}
+	writeJSON(w, struct {
+		Boards []fleet.BoardStatus `json:"boards"`
+	}{m.Boards()})
+}
+
+func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.fleetOr404(w)
+	if m == nil {
+		return
+	}
+	writeJSON(w, m.Health())
+}
+
+func (s *Server) handleFleetEvents(w http.ResponseWriter, r *http.Request) {
+	m := s.fleetOr404(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("board")
+	if _, ok := m.Board(id); !ok {
+		http.Error(w, fleet.ErrNoBoard.Error(), http.StatusNotFound)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	events := m.Store().EventsFor(id, n)
+	writeJSON(w, struct {
+		Board  string        `json:"board"`
+		Events []fleet.Event `json:"events"`
+	}{id, events})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -155,6 +235,10 @@ type statusDTO struct {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.fw == nil {
+		http.Error(w, "no study attached", http.StatusNotFound)
+		return
+	}
 	m := s.fw.Machine()
 	dto := statusDTO{
 		Chip:          m.Chip().Name,
@@ -235,6 +319,10 @@ func (s *Server) handleResultsCSV(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.fw == nil {
+		http.Error(w, "no study attached", http.StatusNotFound)
+		return
+	}
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -261,6 +349,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	chip := "—"
+	if s.fw != nil {
+		chip = s.fw.Machine().Chip().Name
+	}
 	fmt.Fprintf(w, `<!doctype html><title>xvolt</title>
 <h1>xvolt characterization study</h1>
 <p>chip %s — %d campaigns published</p>
@@ -270,7 +362,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/results.csv">results (CSV)</a></li>
 <li><a href="/api/trace?n=50">trace tail</a></li>
 <li><a href="/metrics">metrics (Prometheus)</a></li>
-</ul>`, s.fw.Machine().Chip().Name, len(s.snapshot()))
+</ul>`, chip, len(s.snapshot()))
+	if s.fleetMgr.Load() != nil {
+		fmt.Fprint(w, `
+<h2>fleet</h2>
+<ul>
+<li><a href="/api/fleet">boards</a></li>
+<li><a href="/api/fleet/health">health summary</a></li>
+</ul>`)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
