@@ -27,10 +27,13 @@ import (
 	"xvolt/internal/fleet"
 	"xvolt/internal/obs"
 	"xvolt/internal/server"
+	"xvolt/internal/trace"
 )
 
 type options struct {
 	addr        string
+	debugAddr   string
+	traceOut    string
 	boards      int
 	seed        int64
 	workers     int
@@ -45,6 +48,8 @@ type options struct {
 func main() {
 	var opts options
 	flag.StringVar(&opts.addr, "addr", ":8090", "listen address (daemon mode)")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "optional debug listener (pprof + runtime-sampled /metrics)")
+	flag.StringVar(&opts.traceOut, "trace-out", "", "stream finished spans as JSONL to this file ('-' for stdout)")
 	flag.IntVar(&opts.boards, "boards", 16, "fleet size")
 	flag.Int64Var(&opts.seed, "seed", 1, "master fleet seed")
 	flag.IntVar(&opts.workers, "workers", 4, "poller worker pool size (does not affect results)")
@@ -90,21 +95,64 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	reg := obs.NewRegistry()
 	m.SetMetrics(reg)
 
+	tracer := trace.NewTracer(0, 1)
+	m.SetTracer(tracer)
+	if opts.traceOut != "" {
+		w, closeOut, err := traceWriter(opts.traceOut)
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		tracer.SetSink(trace.NewJSONLSink(w))
+	}
+
+	engine := obs.NewAlertEngine(reg, m.Now)
+	if err := engine.Add(fleet.AlertRules()...); err != nil {
+		return err
+	}
+
 	srv := server.New(nil)
 	srv.SetMetrics(reg)
 	srv.SetFleet(m)
+	srv.SetTracer(tracer)
+	srv.SetAlerts(engine)
 
-	go pollLoop(ctx, m, opts.chunk, opts.tick)
+	if opts.debugAddr != "" {
+		rs := obs.NewRuntimeStats(reg)
+		go func() {
+			err := server.ListenAndServe(ctx, opts.debugAddr, server.DebugHandler(reg, rs), server.DefaultDrainTimeout)
+			if err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("debug listener on %s (pprof, runtime metrics)", opts.debugAddr)
+	}
+
+	go pollLoop(ctx, m, engine, opts.chunk, opts.tick)
 
 	log.Printf("fleet of %d boards on %s (seed %d, %d workers)",
 		opts.boards, opts.addr, opts.seed, opts.workers)
 	return server.ListenAndServe(ctx, opts.addr, srv.Handler(), server.DefaultDrainTimeout)
 }
 
+// traceWriter resolves -trace-out: "-" streams to stdout, anything else
+// creates/truncates the named file.
+func traceWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { _ = f.Close() }, nil
+}
+
 // pollLoop drives the fleet in chunks, paced on the wall clock, until the
 // context ends. Pacing only chooses when chunks run; the poll outcomes
-// themselves live entirely on the fleet's seeded virtual clock.
-func pollLoop(ctx context.Context, m *fleet.Manager, chunk int, tick time.Duration) {
+// themselves live entirely on the fleet's seeded virtual clock. Alert
+// rules are evaluated after every chunk, on the fleet's virtual clock.
+func pollLoop(ctx context.Context, m *fleet.Manager, engine *obs.AlertEngine, chunk int, tick time.Duration) {
 	if chunk <= 0 {
 		chunk = 32
 	}
@@ -116,18 +164,29 @@ func pollLoop(ctx context.Context, m *fleet.Manager, chunk int, tick time.Durati
 			return
 		case <-t.C:
 			m.Run(chunk)
+			engine.Eval()
 		}
 	}
 }
 
 // dumpFleet runs a fresh fleet for a fixed number of polls and writes the
 // two byte-comparable artifacts: the event store and the transition log.
+// Tracing and alerting are attached exactly as in daemon mode — the dump
+// is the proof that neither perturbs the poll outcomes.
 func dumpFleet(cfg fleet.Config, polls int, w io.Writer) error {
 	m, err := fleet.New(cfg)
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+	m.SetTracer(trace.NewTracer(0, 1))
+	engine := obs.NewAlertEngine(reg, m.Now)
+	if err := engine.Add(fleet.AlertRules()...); err != nil {
+		return err
+	}
 	m.Run(polls)
+	engine.Eval()
 	if _, err := fmt.Fprintf(w, "# fleet events (%d boards, %d polls, seed %d)\n",
 		cfg.Boards, polls, cfg.Seed); err != nil {
 		return err

@@ -1,0 +1,104 @@
+// Command xvolt-loadgen drives closed-loop HTTP load against a running
+// xvolt daemon and reports per-endpoint throughput and HDR latency
+// quantiles — the harness behind the fleet-scale scaling numbers in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	xvolt-fleet -addr :8090 &
+//	xvolt-loadgen -url http://127.0.0.1:8090 -clients 8 -duration 10s
+//	xvolt-loadgen -url http://127.0.0.1:8090 -report report.json -check
+//
+// -check exits non-zero if the run saw any transport error or 5xx
+// response, which is what CI's smoke step asserts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xvolt/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090", "base URL of the daemon under load")
+	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 2*time.Second, "run length")
+	mix := flag.String("mix", "", "endpoint mix as name=path=weight,... (default: fleet read mix)")
+	seed := flag.Int64("seed", 1, "master seed for the per-client request-mix PRNGs")
+	report := flag.String("report", "", "write the full JSON report to this file ('-' for stdout)")
+	check := flag.Bool("check", false, "exit 1 if any transport error or 5xx response was seen")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *url, *clients, *duration, *mix, *seed, *report, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, url string, clients int, duration time.Duration, mix string, seed int64, reportPath string, check bool) error {
+	opts := loadgen.Options{
+		BaseURL:  url,
+		Clients:  clients,
+		Duration: duration,
+		Seed:     seed,
+	}
+	if mix != "" {
+		targets, err := loadgen.ParseMix(mix)
+		if err != nil {
+			return err
+		}
+		opts.Targets = targets
+	}
+
+	rep, err := loadgen.Run(ctx, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s — %d clients, %.1fs wall, %d requests (%.1f qps), quantile error ±%.2f%%\n",
+		rep.BaseURL, rep.Clients, rep.WallSec, rep.Requests, rep.QPS, 100*rep.RelErr)
+	rep.WriteTable(os.Stdout)
+
+	if reportPath != "" {
+		if err := writeReport(reportPath, rep); err != nil {
+			return err
+		}
+	}
+	if check && rep.Bad() {
+		return fmt.Errorf("check failed: %d transport errors, %d 5xx responses", rep.Errors, rep.Code5xx)
+	}
+	if rep.Requests == 0 {
+		return fmt.Errorf("no requests completed (is %s up?)", url)
+	}
+	return nil
+}
+
+func writeReport(path string, rep *loadgen.Report) error {
+	enc := func(w *os.File) error {
+		e := json.NewEncoder(w)
+		e.SetIndent("", " ")
+		return e.Encode(rep)
+	}
+	if path == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		_ = f.Close() // report the encode error, not the close
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xvolt/internal/loadgen"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run(context.Background(), ts.URL, 2, 100*time.Millisecond,
+		"all=/=1", 7, report, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Bad() {
+		t.Errorf("report = %+v", rep.Total)
+	}
+	if rep.Seed != 7 || rep.Clients != 2 {
+		t.Errorf("report config = seed %d clients %d", rep.Seed, rep.Clients)
+	}
+}
+
+func TestRunCheckFailsOn5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	err := run(context.Background(), ts.URL, 1, 50*time.Millisecond, "x=/=1", 1, "", true)
+	if err == nil {
+		t.Fatal("check passed against a 5xx-only server")
+	}
+}
+
+func TestRunBadMix(t *testing.T) {
+	if err := run(context.Background(), "http://127.0.0.1:1", 1, time.Millisecond, "nonsense", 1, "", false); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 	runs := flag.Int("runs", 10, "runs per voltage step")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	metricsAddr := flag.String("metrics-addr", "", "optional extra listen address serving only /metrics and /healthz")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener (pprof + runtime-sampled /metrics)")
 	traceOut := flag.String("trace-out", "", "stream every trace event to this JSONL file ('-' = stderr)")
 	flag.Parse()
 
@@ -48,13 +49,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, *chipName, *benchList, *coreList, *runs, *seed, *metricsAddr, *traceOut); err != nil {
+	if err := run(ctx, *addr, *chipName, *benchList, *coreList, *runs, *seed, *metricsAddr, *debugAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr, chipName, benchList, coreList string, runs int, seed int64, metricsAddr, traceOut string) error {
+func run(ctx context.Context, addr, chipName, benchList, coreList string, runs int, seed int64, metricsAddr, debugAddr, traceOut string) error {
 	corner, err := silicon.ParseCorner(chipName)
 	if err != nil {
 		return err
@@ -74,6 +75,17 @@ func run(ctx context.Context, addr, chipName, benchList, coreList string, runs i
 	}
 	srv := server.New(fw)
 	srv.SetMetrics(reg)
+	srv.SetTracer(trace.NewTracer(0, 1))
+
+	if debugAddr != "" {
+		rs := obs.NewRuntimeStats(reg)
+		go func() {
+			log.Printf("debug listener on %s (pprof, runtime metrics)", debugAddr)
+			if err := server.ListenAndServe(ctx, debugAddr, server.DebugHandler(reg, rs), server.DefaultDrainTimeout); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	if metricsAddr != "" {
 		mux := http.NewServeMux()

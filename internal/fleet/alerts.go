@@ -1,0 +1,58 @@
+// Built-in fleet alert rules: the SLO floor under the paper's §5 claim
+// (harvest the guardband at no reliability loss). The rules read the
+// fleet's own registry samples on the virtual clock, so they fire — and
+// resolve — identically across runs of the same seed.
+
+package fleet
+
+import (
+	"time"
+
+	"xvolt/internal/obs"
+)
+
+// AlertRules returns the standard fleet SLO rules, keyed to the metric
+// names SetMetrics registers. Attach them to an obs.AlertEngine whose
+// clock is Manager.Now.
+func AlertRules() []obs.Rule {
+	return []obs.Rule{
+		{
+			Name:      "fleet-unhealthy-ratio",
+			Severity:  "critical",
+			Kind:      obs.RuleThreshold,
+			Metric:    `xvolt_fleet_boards{state="unhealthy"}`,
+			Denom:     "xvolt_fleet_board_count",
+			Op:        obs.CmpGE,
+			Threshold: 0.25,
+			For:       2 * time.Second,
+			Help:      "≥25% of boards unhealthy: operating points are eating into required margin fleet-wide.",
+		},
+		{
+			Name:      "fleet-sdc-rate",
+			Severity:  "critical",
+			Kind:      obs.RuleRate,
+			Metric:    `xvolt_fleet_events_total{kind="sdc-observed"}`,
+			Op:        obs.CmpGE,
+			Threshold: 0.5,
+			Help:      "Silent data corruptions above 0.5/s of virtual time: the §5 no-reliability-loss claim is violated.",
+		},
+		{
+			Name:      "fleet-guardband-churn",
+			Severity:  "warning",
+			Kind:      obs.RuleRate,
+			Metric:    `xvolt_fleet_events_total{kind="guardband-widened"}`,
+			Op:        obs.CmpGE,
+			Threshold: 0.25,
+			For:       2 * time.Second,
+			Help:      "Guardbands widening faster than 0.25/s for 2s: the margin controller is thrashing.",
+		},
+		{
+			Name:     "fleet-polls-absent",
+			Severity: "warning",
+			Kind:     obs.RuleAbsence,
+			Metric:   "xvolt_fleet_polls_total",
+			For:      10 * time.Second,
+			Help:     "The fleet poll counter disappeared from the registry: the poll loop is dead or unmetered.",
+		},
+	}
+}

@@ -22,11 +22,14 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xvolt/internal/core"
 	"xvolt/internal/energy"
+	"xvolt/internal/obs"
 	"xvolt/internal/silicon"
+	"xvolt/internal/trace"
 	"xvolt/internal/units"
 	"xvolt/internal/watchdog"
 	"xvolt/internal/workload"
@@ -364,6 +367,12 @@ type Manager struct {
 	tseq        uint64
 	polled      uint64
 	m           fleetMetrics
+	tracer      *trace.Tracer
+
+	// vclock mirrors clock for lock-free readers — the tracer's clock
+	// hook reads it without touching mu (commit holds mu while spans
+	// are created, so the hook must not lock).
+	vclock atomic.Int64
 
 	runMu sync.Mutex // serializes Run calls
 }
@@ -479,11 +488,18 @@ func (m *Manager) Run(polls int) {
 	defer m.runMu.Unlock()
 
 	slots := m.takeSlots(polls)
+	m.traceSchedule(slots)
 	jobs := make([][]int, len(m.boards))
 	for si, s := range slots {
 		jobs[s.board] = append(jobs[s.board], si)
 	}
 	outcomes := make([]pollOutcome, len(slots))
+
+	// The poll-latency instrument is read by workers without the lock;
+	// capture it once here (SetMetrics may race Run otherwise).
+	m.mu.Lock()
+	pollSeconds := m.m.pollSeconds
+	m.mu.Unlock()
 
 	workCh := make(chan int)
 	var wg sync.WaitGroup
@@ -494,7 +510,9 @@ func (m *Manager) Run(polls int) {
 			for bi := range workCh {
 				b := m.boards[bi]
 				for _, si := range jobs[bi] {
+					span := obs.StartSpan(pollSeconds)
 					outcomes[si] = b.poll(slots[si].due, &m.cfg)
+					span.End()
 				}
 			}
 		}()
@@ -511,6 +529,7 @@ func (m *Manager) Run(polls int) {
 	defer m.mu.Unlock()
 	for si := range outcomes {
 		m.commitLocked(&outcomes[si])
+		m.traceOutcomeLocked(&outcomes[si])
 	}
 	m.publishGaugesLocked()
 }
@@ -520,6 +539,7 @@ func (m *Manager) Run(polls int) {
 // due time (which stamps the appended events).
 func (m *Manager) commitLocked(o *pollOutcome) {
 	m.clock = o.due
+	m.vclock.Store(int64(o.due))
 	for _, e := range o.events {
 		m.store.Append(e)
 		m.m.events.With(e.Kind.String()).Inc()

@@ -20,6 +20,8 @@ type fleetMetrics struct {
 	boardMV     *obs.GaugeVec   // board → operating rail mV
 	boardMargin *obs.GaugeVec   // board → guardband margin mV
 	savingsMean *obs.Gauge      // mean fractional power savings vs nominal
+	boardCount  *obs.Gauge      // fleet size (denominator for ratio alerts)
+	pollSeconds *obs.HDR        // wall time of one board poll (worker-side)
 }
 
 // SetMetrics registers the fleet's telemetry on r. The per-state gauges
@@ -45,6 +47,10 @@ func (m *Manager) SetMetrics(r *obs.Registry) {
 			"Guardband margin above the characterized floor per board.", "board"),
 		savingsMean: r.Gauge("xvolt_fleet_power_savings_mean",
 			"Mean fractional power savings across the fleet vs nominal rail."),
+		boardCount: r.Gauge("xvolt_fleet_board_count",
+			"Number of boards the fleet manages."),
+		pollSeconds: r.HDR("xvolt_fleet_poll_seconds",
+			"Wall-clock duration of one board health poll.", obs.HDROpts{}),
 	}
 	for _, st := range States {
 		fm.stateBoards.With(st.String())
@@ -70,6 +76,7 @@ func (m *Manager) publishGaugesLocked() {
 	for _, st := range States {
 		m.m.stateBoards.With(st.String()).Set(float64(counts[st]))
 	}
+	m.m.boardCount.Set(float64(len(m.boards)))
 	if len(m.boards) > 0 {
 		m.m.savingsMean.Set(savings / float64(len(m.boards)))
 	}

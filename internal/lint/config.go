@@ -38,15 +38,21 @@ func DefaultConfig() Config {
 			"xvolt/internal/energy",
 			"xvolt/internal/sched",
 			"xvolt/internal/fleet",
-			// obs is scoped so span timing stays visible to the rule …
+			// obs, trace and loadgen are scoped so their timing stays
+			// visible to the rule …
 			"xvolt/internal/obs",
+			"xvolt/internal/trace",
+			"xvolt/internal/loadgen",
 		},
 		// … and exempted only through this allowlist: the one permitted
-		// wall-clock reference is the default of obs's injectable `now`
-		// hook. Anything else in obs (or a second time.Now creeping in
-		// elsewhere) still fails the build.
+		// wall-clock reference per package is the default of its
+		// injectable `now`/`tnow` hook. Anything else in those packages
+		// (or a second time.Now creeping in elsewhere) still fails the
+		// build.
 		DetrandAllow: map[string][]string{
-			"xvolt/internal/obs": {"time.Now"},
+			"xvolt/internal/obs":     {"time.Now"},
+			"xvolt/internal/trace":   {"time.Now"},
+			"xvolt/internal/loadgen": {"time.Now"},
 		},
 		SeedflowPkgs: []string{
 			"xvolt/internal/core",
@@ -54,6 +60,7 @@ func DefaultConfig() Config {
 			"xvolt/internal/predict",
 			"xvolt/internal/regress",
 			"xvolt/internal/fleet",
+			"xvolt/internal/loadgen",
 		},
 		SeedSources: []string{
 			"xvolt/internal/core.CampaignSeed",

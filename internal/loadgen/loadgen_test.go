@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	targets, err := ParseMix("a=/x=3, b=/y?n=5=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Target{{"a", "/x", 3}, {"b", "/y?n=5", 1}}
+	if len(targets) != 2 || targets[0] != want[0] || targets[1] != want[1] {
+		t.Errorf("targets = %+v", targets)
+	}
+	for _, bad := range []string{"", "a=/x", "a=/x=0", "a=/x=zero"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunAgainstTestServer(t *testing.T) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/big", func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Write(make([]byte, 1<<12))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  3,
+		Duration: 200 * time.Millisecond,
+		Seed:     42,
+		Targets: []Target{
+			{Name: "ok", Path: "/ok", Weight: 3},
+			{Name: "big", Path: "/big", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Requests != uint64(hits.Load()) {
+		t.Errorf("requests = %d, server saw %d", rep.Requests, hits.Load())
+	}
+	if rep.Errors != 0 || rep.Code5xx != 0 || rep.Bad() {
+		t.Errorf("errors = %d, 5xx = %d", rep.Errors, rep.Code5xx)
+	}
+	if rep.QPS <= 0 || rep.WallSec <= 0 {
+		t.Errorf("qps/wall = %v/%v", rep.QPS, rep.WallSec)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("targets = %d", len(rep.Targets))
+	}
+	for _, tr := range rep.Targets {
+		if tr.Requests == 0 {
+			t.Errorf("target %s starved", tr.Name)
+		}
+		if tr.Codes["200"] == 0 {
+			t.Errorf("target %s codes = %v", tr.Name, tr.Codes)
+		}
+		if !(tr.P50Sec > 0) || !(tr.P999Sec >= tr.P50Sec) {
+			t.Errorf("target %s quantiles p50=%v p999=%v", tr.Name, tr.P50Sec, tr.P999Sec)
+		}
+		if !(tr.MinSec <= tr.P50Sec && tr.P999Sec <= tr.MaxSec) {
+			t.Errorf("target %s quantiles outside extremes", tr.Name)
+		}
+	}
+	if rep.Total.Requests != rep.Requests {
+		t.Error("total row inconsistent")
+	}
+	// The weighted mix actually skews: ok (w3) should out-request big (w1).
+	var ok, big uint64
+	for _, tr := range rep.Targets {
+		switch tr.Name {
+		case "ok":
+			ok = tr.Requests
+		case "big":
+			big = tr.Requests
+		}
+	}
+	if ok <= big {
+		t.Errorf("weights ignored: ok=%d big=%d", ok, big)
+	}
+
+	var table strings.Builder
+	rep.WriteTable(&table)
+	if !strings.Contains(table.String(), "total") || !strings.Contains(table.String(), "p999") {
+		t.Errorf("table:\n%s", table.String())
+	}
+}
+
+func TestRunCounts5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+		Targets:  []Target{{Name: "x", Path: "/", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Code5xx == 0 || !rep.Bad() {
+		t.Errorf("5xx not counted: %+v", rep.Total)
+	}
+}
+
+func TestRunTransportErrors(t *testing.T) {
+	// A listener that is already closed: every request errors.
+	ts := httptest.NewServer(http.NewServeMux())
+	url := ts.URL
+	ts.Close()
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  url,
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+		Targets:  []Target{{Name: "x", Path: "/", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || !rep.Bad() {
+		t.Errorf("transport errors not counted: %+v", rep.Total)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Options{
+		BaseURL:  ts.URL,
+		Duration: 10 * time.Second,
+		Targets:  []Target{{Name: "x", Path: "/", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+	_ = rep
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Options{
+		BaseURL: "http://x", Targets: []Target{{Name: "a", Path: "/", Weight: 0}},
+	}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+// The request mix is a pure function of (seed, clients): two runs with
+// the same seed draw identical target sequences per client.
+func TestMixDeterminism(t *testing.T) {
+	draw := func(seed int64) []int {
+		rngTargets := DefaultMix()
+		total := 0
+		for _, tgt := range rngTargets {
+			total += tgt.Weight
+		}
+		rng := newClientRNG(seed, 0)
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = pickTarget(rng, rngTargets, total)
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	c := draw(10)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed drew different mixes")
+	}
+	if !diff {
+		t.Error("different seeds drew identical mixes (suspicious)")
+	}
+}

@@ -34,6 +34,8 @@ const (
 	KindGauge
 	// KindHistogram is a bucketed distribution with fixed upper bounds.
 	KindHistogram
+	// KindSummary is a log-bucketed HDR histogram exposed as quantiles.
+	KindSummary
 )
 
 // String names the kind as in the Prometheus TYPE line.
@@ -45,6 +47,8 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindSummary:
+		return "summary"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -321,6 +325,8 @@ func (r *Registry) register(name, help string, kind Kind, labels []string, bucke
 			f.single = &Gauge{}
 		case KindHistogram:
 			f.single = newHistogram(buckets)
+		case KindSummary:
+			f.single = NewHDR(HDROpts{Min: buckets[0], Max: buckets[1], SubBuckets: int(buckets[2])})
 		}
 	}
 	r.fams[name] = f

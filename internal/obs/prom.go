@@ -102,6 +102,19 @@ func (f *family) writeProm(w io.Writer) error {
 			}
 			_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, m.Count())
 			return err
+		case *HDR:
+			s := m.Snapshot()
+			for _, q := range summaryQuantiles {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.name, mergeLabels(labels, "quantile", formatFloat(q)), formatFloat(s.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, s.Count)
+			return err
 		}
 		return nil
 	}
@@ -135,6 +148,13 @@ func (f *family) snapshot(out map[string]float64) {
 			}
 			out[f.name+"_sum"+labels] = m.Sum()
 			out[f.name+"_count"+labels] = float64(m.Count())
+		case *HDR:
+			s := m.Snapshot()
+			for _, q := range summaryQuantiles {
+				out[f.name+mergeLabels(labels, "quantile", formatFloat(q))] = s.Quantile(q)
+			}
+			out[f.name+"_sum"+labels] = s.Sum
+			out[f.name+"_count"+labels] = float64(s.Count)
 		}
 	}
 	if len(f.labels) == 0 {

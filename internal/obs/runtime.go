@@ -1,0 +1,60 @@
+// Runtime-stats sampler: Go runtime health (goroutines, heap, GC) as
+// gauges. Sampling is explicit — daemons sample on each debug /metrics
+// scrape — so the instrument itself stays deterministic-test-friendly:
+// no background goroutine, no ticker, nothing fires unless asked.
+package obs
+
+import "runtime"
+
+// RuntimeStats samples the Go runtime into gauges on a registry.
+// Construct with NewRuntimeStats; a nil *RuntimeStats is inert.
+type RuntimeStats struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapInuse   *Gauge
+	heapObjects *Gauge
+	sys         *Gauge
+	gcCycles    *Gauge
+	gcPause     *Gauge
+	nextGC      *Gauge
+}
+
+// NewRuntimeStats registers the runtime gauges on r and returns the
+// sampler. Nil-safe: a nil registry yields inert gauges.
+func NewRuntimeStats(r *Registry) *RuntimeStats {
+	return &RuntimeStats{
+		goroutines: r.Gauge("xvolt_go_goroutines",
+			"Live goroutines at the last sample."),
+		heapAlloc: r.Gauge("xvolt_go_heap_alloc_bytes",
+			"Bytes of allocated heap objects."),
+		heapInuse: r.Gauge("xvolt_go_heap_inuse_bytes",
+			"Bytes in in-use heap spans."),
+		heapObjects: r.Gauge("xvolt_go_heap_objects",
+			"Live heap objects."),
+		sys: r.Gauge("xvolt_go_sys_bytes",
+			"Total bytes obtained from the OS."),
+		gcCycles: r.Gauge("xvolt_go_gc_cycles_total",
+			"Completed GC cycles since process start."),
+		gcPause: r.Gauge("xvolt_go_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause seconds since process start."),
+		nextGC: r.Gauge("xvolt_go_next_gc_bytes",
+			"Heap size target of the next GC cycle."),
+	}
+}
+
+// Sample reads the runtime once and publishes every gauge. Nil-safe.
+func (s *RuntimeStats) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(ms.HeapAlloc))
+	s.heapInuse.Set(float64(ms.HeapInuse))
+	s.heapObjects.Set(float64(ms.HeapObjects))
+	s.sys.Set(float64(ms.Sys))
+	s.gcCycles.Set(float64(ms.NumGC))
+	s.gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.nextGC.Set(float64(ms.NextGC))
+}

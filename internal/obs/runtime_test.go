@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeStatsSample(t *testing.T) {
+	r := NewRegistry()
+	rs := NewRuntimeStats(r)
+	rs.Sample()
+	snap := r.Snapshot()
+	if snap["xvolt_go_goroutines"] < 1 {
+		t.Errorf("goroutines = %v, want ≥ 1", snap["xvolt_go_goroutines"])
+	}
+	if snap["xvolt_go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap alloc = %v, want > 0", snap["xvolt_go_heap_alloc_bytes"])
+	}
+	if snap["xvolt_go_sys_bytes"] <= 0 {
+		t.Errorf("sys bytes = %v", snap["xvolt_go_sys_bytes"])
+	}
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"xvolt_go_goroutines", "xvolt_go_heap_inuse_bytes",
+		"xvolt_go_heap_objects", "xvolt_go_gc_cycles_total",
+		"xvolt_go_gc_pause_seconds_total", "xvolt_go_next_gc_bytes",
+	} {
+		if !strings.Contains(b.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+func TestRuntimeStatsNilSafe(t *testing.T) {
+	var rs *RuntimeStats
+	rs.Sample() // must not panic
+}

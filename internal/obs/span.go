@@ -14,17 +14,24 @@ import (
 // exact instead of sleep-based.
 var now = time.Now
 
+// Observer is anything that can record one float64 sample — both
+// *Histogram (fixed buckets) and *HDR (log buckets) satisfy it, so every
+// timing helper works against either instrument.
+type Observer interface {
+	Observe(float64)
+}
+
 // Span times one region. Obtain with StartSpan; call End (or EndTo) when
 // the region finishes. The zero Span is inert.
 type Span struct {
-	hist  *Histogram
+	hist  Observer
 	start time.Time
 }
 
-// StartSpan starts timing into h. A nil histogram yields a span that
+// StartSpan starts timing into o. A nil observer yields a span that
 // still measures (End returns the real duration) but records nothing.
-func StartSpan(h *Histogram) Span {
-	return Span{hist: h, start: now()}
+func StartSpan(o Observer) Span {
+	return Span{hist: o, start: now()}
 }
 
 // End observes the elapsed seconds into the span's histogram and returns
@@ -35,24 +42,28 @@ func (s Span) End() time.Duration {
 		return 0
 	}
 	d := now().Sub(s.start)
-	s.hist.Observe(d.Seconds())
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
 	return d
 }
 
-// EndTo observes into an alternate histogram — for regions whose
+// EndTo observes into an alternate instrument — for regions whose
 // destination is only known at the end (e.g. success vs. failure).
-func (s Span) EndTo(h *Histogram) time.Duration {
+func (s Span) EndTo(o Observer) time.Duration {
 	if s.start.IsZero() {
 		return 0
 	}
 	d := now().Sub(s.start)
-	h.Observe(d.Seconds())
+	if o != nil {
+		o.Observe(d.Seconds())
+	}
 	return d
 }
 
-// Time runs f under a span observing into h and returns the duration.
-func Time(h *Histogram, f func()) time.Duration {
-	s := StartSpan(h)
+// Time runs f under a span observing into o and returns the duration.
+func Time(o Observer, f func()) time.Duration {
+	s := StartSpan(o)
 	f()
 	return s.End()
 }

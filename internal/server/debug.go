@@ -1,0 +1,49 @@
+// Debug surface: the Go runtime's pprof profiles plus a metrics scrape
+// that samples runtime stats on demand. Served on a separate listener
+// (-debug-addr) so profiling endpoints are never exposed on the public
+// API port by accident.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"xvolt/internal/obs"
+)
+
+// DebugHandler returns the handler for the debug listener: pprof under
+// /debug/pprof/, the registry's Prometheus exposition under /metrics
+// (sampling rs first, so goroutine/heap/GC gauges are fresh at scrape
+// time), and a /healthz probe. Both reg and rs may be nil.
+func DebugHandler(reg *obs.Registry, rs *obs.RuntimeStats) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rs.Sample()
+		obs.Handler(reg).ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<!doctype html><title>xvolt debug</title>
+<h1>xvolt debug</h1>
+<ul>
+<li><a href="/debug/pprof/">pprof</a></li>
+<li><a href="/metrics">metrics (runtime-sampled)</a></li>
+</ul>`)
+	})
+	return mux
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xvolt/internal/obs"
+	"xvolt/internal/trace"
+)
+
+func TestTracesEndpoint(t *testing.T) {
+	s := New(nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Detached: 404, not a crash.
+	if code, _ := get(t, ts, "/api/traces"); code != 404 {
+		t.Fatalf("no tracer = %d, want 404", code)
+	}
+
+	tr := trace.NewTracer(0, 1)
+	tr.SetClock(func() time.Duration { return 0 })
+	s.SetTracer(tr)
+
+	// Requests themselves become spans once the tracer is attached.
+	get(t, ts, "/healthz")
+	get(t, ts, "/api/nope")
+
+	code, body := get(t, ts, "/api/traces")
+	if code != 200 {
+		t.Fatalf("/api/traces = %d", code)
+	}
+	var dto struct {
+		Spans   []trace.Span `json:"spans"`
+		Sampled uint64       `json:"sampled"`
+	}
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatal(err)
+	}
+	if len(dto.Spans) < 2 || dto.Sampled < 2 {
+		t.Fatalf("spans = %d sampled = %d", len(dto.Spans), dto.Sampled)
+	}
+	byName := map[string][]trace.Span{}
+	for _, sp := range dto.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	if len(byName["http /healthz"]) != 1 {
+		t.Fatalf("healthz span missing: %+v", byName)
+	}
+	attrs := map[string]string{}
+	for _, a := range byName["http /healthz"][0].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["route"] != "/healthz" || attrs["method"] != "GET" || attrs["code"] != "200" {
+		t.Errorf("healthz span attrs = %v", attrs)
+	}
+	// Unknown paths collapse into the bounded "other" span name.
+	if len(byName["http other"]) != 1 {
+		t.Errorf("unknown path did not collapse to other: %+v", byName)
+	}
+
+	// ?trace= narrows to one tree, ?n= tails, bad values 400.
+	id := dto.Spans[0].Trace
+	_, body = get(t, ts, "/api/traces?trace="+jsonNum(id))
+	var one struct {
+		Spans []trace.Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range one.Spans {
+		if sp.Trace != id {
+			t.Errorf("trace filter leaked span of trace %d", sp.Trace)
+		}
+	}
+	_, body = get(t, ts, "/api/traces?n=1")
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Spans) != 1 {
+		t.Errorf("n=1 returned %d spans", len(one.Spans))
+	}
+	if code, _ := get(t, ts, "/api/traces?n=0"); code != 400 {
+		t.Errorf("n=0 = %d", code)
+	}
+	if code, _ := get(t, ts, "/api/traces?trace=x"); code != 400 {
+		t.Errorf("trace=x = %d", code)
+	}
+}
+
+func jsonNum(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	s := New(nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts, "/api/alerts"); code != 404 {
+		t.Fatalf("no engine = %d, want 404", code)
+	}
+
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "h")
+	engine := obs.NewAlertEngine(reg, nil)
+	if err := engine.Add(obs.Rule{
+		Name: "hot", Metric: "v", Op: obs.CmpGE, Threshold: 1, Severity: "critical",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetAlerts(engine)
+	g.Set(2)
+	engine.Eval()
+
+	code, body := get(t, ts, "/api/alerts")
+	if code != 200 {
+		t.Fatalf("/api/alerts = %d", code)
+	}
+	var dto struct {
+		Alerts []obs.Alert           `json:"alerts"`
+		Firing int                   `json:"firing"`
+		Evals  uint64                `json:"evals"`
+		Trans  []obs.AlertTransition `json:"transitions"`
+	}
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatal(err)
+	}
+	if len(dto.Alerts) != 1 || dto.Firing != 1 || dto.Evals != 1 || len(dto.Trans) != 1 {
+		t.Fatalf("dto = %+v", dto)
+	}
+	if !strings.Contains(body, `"state": "firing"`) {
+		t.Errorf("state not rendered by name:\n%s", body)
+	}
+	if dto.Alerts[0].Severity != "critical" || dto.Alerts[0].Value != 2 {
+		t.Errorf("alert = %+v", dto.Alerts[0])
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	rs := obs.NewRuntimeStats(reg)
+	ts := httptest.NewServer(DebugHandler(reg, rs))
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	// The scrape samples the runtime gauges on demand.
+	code, body := get(t, ts, "/metrics")
+	if code != 200 || !strings.Contains(body, "xvolt_go_goroutines") {
+		t.Errorf("metrics = %d, missing runtime gauges", code)
+	}
+	if code, body := get(t, ts, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", code)
+	}
+	if code, _ := get(t, ts, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline = %d", code)
+	}
+	if code, _ := get(t, ts, "/"); code != 200 {
+		t.Errorf("index = %d", code)
+	}
+	if code, _ := get(t, ts, "/nope"); code != 404 {
+		t.Errorf("unknown = %d", code)
+	}
+}
+
+// The two new endpoints are first-class routes: counted under their own
+// pattern label, never minting unbounded ones.
+func TestObservabilityRoutesMetered(t *testing.T) {
+	s := New(nil)
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	s.SetTracer(trace.NewTracer(0, 1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/api/traces")
+	get(t, ts, "/api/alerts")
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`xvolt_http_requests_total{route="/api/traces",code="200"} 1`,
+		`xvolt_http_requests_total{route="/api/alerts",code="404"} 1`,
+		`xvolt_http_request_seconds_count{route="/api/traces"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, grepLines(body, "route"))
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"xvolt/internal/csvutil"
 	"xvolt/internal/fleet"
 	"xvolt/internal/obs"
+	"xvolt/internal/trace"
 	"xvolt/internal/units"
 )
 
@@ -29,21 +30,23 @@ type Server struct {
 
 	fleetMgr atomic.Pointer[fleet.Manager]
 	metrics  atomic.Pointer[httpMetrics]
+	tracer   atomic.Pointer[trace.Tracer]
+	alerts   atomic.Pointer[obs.AlertEngine]
 }
 
 // httpMetrics are the per-endpoint request instruments plus the registry
 // they live in (for the /metrics exposition itself).
 type httpMetrics struct {
 	reg      *obs.Registry
-	requests *obs.CounterVec   // route, code
-	latency  *obs.HistogramVec // route
+	requests *obs.CounterVec // route, code
+	latency  *obs.HDRVec     // route
 }
 
 // routes are the served patterns, known up front so the latency families
 // can be pre-seeded and the path label space stays bounded — a request
 // label must never be attacker-chosen.
 var routes = []string{"/healthz", "/metrics", "/api/status", "/api/results",
-	"/api/results.csv", "/api/trace",
+	"/api/results.csv", "/api/trace", "/api/traces", "/api/alerts",
 	"/api/fleet", "/api/fleet/health", "/api/fleet/{board}/events",
 	"/", otherRoute}
 
@@ -78,13 +81,29 @@ func (s *Server) SetMetrics(r *obs.Registry) {
 		reg: r,
 		requests: r.CounterVec("xvolt_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "route", "code"),
-		latency: r.HistogramVec("xvolt_http_request_seconds",
-			"HTTP request latency, by route pattern.", nil, "route"),
+		latency: r.HDRVec("xvolt_http_request_seconds",
+			"HTTP request latency, by route pattern.", obs.HDROpts{}, "route"),
 	}
 	for _, route := range routes {
 		m.latency.With(route)
 	}
 	s.metrics.Store(m)
+}
+
+// SetTracer attaches (or, with nil, detaches) a request tracer: every
+// routed request becomes a span carrying the route, method and status
+// code, and GET /api/traces serves the tracer's retained spans. Safe to
+// call while serving.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.tracer.Store(t)
+}
+
+// SetAlerts attaches (or, with nil, detaches) an alert engine; GET
+// /api/alerts serves its current rule states and transition log. The
+// engine is evaluated by its owner (the fleet daemon's poll loop), not
+// by the server. Safe to call while serving.
+func (s *Server) SetAlerts(e *obs.AlertEngine) {
+	s.alerts.Store(e)
 }
 
 // SetResults replaces the published campaign results.
@@ -118,11 +137,15 @@ func (w *statusWriter) WriteHeader(code int) {
 // is the mux pattern, not the request path, so cardinality stays fixed.
 // The catch-all "/" pattern also matches every path outside the route
 // table; those requests all collapse into the single "other" label so an
-// attacker probing random paths cannot mint new label values.
+// attacker probing random paths cannot mint new label values. With a
+// tracer attached each request also becomes a span — named by the same
+// bounded label, carrying method and status code — whose context flows
+// into the handler for further nesting.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics.Load()
-		if m == nil {
+		tr := s.tracer.Load()
+		if m == nil && tr == nil {
 			h(w, r)
 			return
 		}
@@ -130,11 +153,21 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 		if pattern == "/" && r.URL.Path != "/" {
 			label = otherRoute
 		}
-		span := obs.StartSpan(m.latency.With(label))
+		ctx, rspan := tr.StartSpan(r.Context(), "http "+label)
+		rspan.SetAttr("route", label)
+		rspan.SetAttr("method", r.Method)
+		var span obs.Span
+		if m != nil {
+			span = obs.StartSpan(m.latency.With(label))
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		h(sw, r.WithContext(ctx))
 		span.End()
-		m.requests.With(label, strconv.Itoa(sw.code)).Inc()
+		rspan.SetAttr("code", strconv.Itoa(sw.code))
+		rspan.End()
+		if m != nil {
+			m.requests.With(label, strconv.Itoa(sw.code)).Inc()
+		}
 	})
 }
 
@@ -147,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "/api/results", s.handleResultsJSON)
 	s.route(mux, "/api/results.csv", s.handleResultsCSV)
 	s.route(mux, "/api/trace", s.handleTrace)
+	s.route(mux, "/api/traces", s.handleTraces)
+	s.route(mux, "/api/alerts", s.handleAlerts)
 	s.route(mux, "/api/fleet", s.handleFleet)
 	s.route(mux, "/api/fleet/health", s.handleFleetHealth)
 	s.route(mux, "/api/fleet/{board}/events", s.handleFleetEvents)
@@ -343,6 +378,61 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTraces serves the attached tracer's retained finished spans as
+// JSON, oldest first. ?trace= narrows to one trace id; ?n= caps the
+// span count (tail).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.tracer.Load()
+	if t == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	var spans []trace.Span
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace", http.StatusBadRequest)
+			return
+		}
+		spans = t.TraceSpans(id)
+	} else {
+		spans = t.Spans()
+	}
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if len(spans) > n {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	kept, discarded := t.SampleStats()
+	writeJSON(w, struct {
+		Spans     []trace.Span `json:"spans"`
+		Evicted   uint64       `json:"evicted"`
+		Sampled   uint64       `json:"sampled"`
+		Discarded uint64       `json:"discarded"`
+	}{spans, t.Evicted(), kept, discarded})
+}
+
+// handleAlerts serves the attached alert engine's rule states and recent
+// state transitions.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	e := s.alerts.Load()
+	if e == nil {
+		http.Error(w, "no alerts attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		Alerts      []obs.Alert           `json:"alerts"`
+		Firing      int                   `json:"firing"`
+		Evals       uint64                `json:"evals"`
+		Transitions []obs.AlertTransition `json:"transitions"`
+	}{e.Alerts(), len(e.Firing()), e.Evals(), e.Transitions()})
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -361,6 +451,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/results">results (JSON)</a></li>
 <li><a href="/api/results.csv">results (CSV)</a></li>
 <li><a href="/api/trace?n=50">trace tail</a></li>
+<li><a href="/api/traces?n=50">spans (JSON)</a></li>
+<li><a href="/api/alerts">alerts</a></li>
 <li><a href="/metrics">metrics (Prometheus)</a></li>
 </ul>`, chip, len(s.snapshot()))
 	if s.fleetMgr.Load() != nil {

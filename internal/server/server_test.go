@@ -198,8 +198,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE xvolt_runs_total counter",
 		`xvolt_runs_total{class="SC"}`,
 		"xvolt_watchdog_recoveries_total",
-		"# TYPE xvolt_http_request_seconds histogram",
-		`xvolt_http_request_seconds_bucket{route="/api/status",le="+Inf"} 2`,
+		"# TYPE xvolt_http_request_seconds summary",
+		`xvolt_http_request_seconds{route="/api/status",quantile="0.99"}`,
+		`xvolt_http_request_seconds_count{route="/api/status"} 2`,
 		"# TYPE xvolt_campaign_seconds histogram",
 		"xvolt_campaign_seconds_count 1",
 		`xvolt_http_requests_total{route="/api/status",code="200"} 2`,

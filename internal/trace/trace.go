@@ -42,6 +42,9 @@ const (
 	Recovery
 	// Note is free-form commentary.
 	Note
+	// SpanEnd carries one finished tracer span (hierarchical tracing);
+	// the Event's Span field holds the payload.
+	SpanEnd
 )
 
 // String names the kind.
@@ -61,6 +64,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case Note:
 		return "note"
+	case SpanEnd:
+		return "span"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -85,6 +90,8 @@ func ParseKind(s string) (Kind, error) {
 		return Recovery, nil
 	case "note":
 		return Note, nil
+	case "span":
+		return SpanEnd, nil
 	}
 	if inner, ok := strings.CutPrefix(s, "kind("); ok {
 		if num, ok := strings.CutSuffix(inner, ")"); ok {
@@ -118,11 +125,14 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 }
 
 // Event is one log entry. Seq is a monotonically increasing sequence
-// number (the log's logical clock).
+// number (the log's logical clock). SpanEnd events additionally carry
+// the finished span; the field is omitted (and ignored) for every other
+// kind, so pre-span JSONL streams round-trip unchanged.
 type Event struct {
 	Seq  uint64 `json:"seq"`
 	Kind Kind   `json:"kind"`
 	Msg  string `json:"msg"`
+	Span *Span  `json:"span,omitempty"`
 }
 
 // String renders like "000042 run bwaves/ref core4 885mV -> SDC".
