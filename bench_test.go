@@ -114,6 +114,7 @@ func BenchmarkFigure4Parallel(b *testing.B) {
 	}
 	serial := time.Since(start)
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start = time.Now()
 	for i := 0; i < b.N; i++ {
@@ -256,6 +257,7 @@ func BenchmarkKernelRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	var sink uint64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink ^= spec.Run(workload.Nop{})
 	}
@@ -270,6 +272,7 @@ func BenchmarkMachineRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := newBenchRand()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.RunOnCore(i%silicon.NumCores, spec, rng); err != nil {

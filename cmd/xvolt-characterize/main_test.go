@@ -52,7 +52,7 @@ func TestRunEndToEnd(t *testing.T) {
 	ckpt := filepath.Join(dir, "ckpt.json")
 	jsonl := filepath.Join(dir, "trace.jsonl")
 
-	if err := run("TFF", "mcf", "4", 2400, 3, 980, 800, 1, out, raw, "xgene", ckpt, false, jsonl, "", 1); err != nil {
+	if err := run("TFF", "mcf", "4", 2400, 3, 980, 800, 1, out, raw, "xgene", ckpt, false, jsonl, "", 1, "batch"); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -94,7 +94,7 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	// Resume: adds a benchmark without redoing mcf.
-	if err := run("TFF", "mcf,gromacs", "4", 2400, 3, 980, 800, 1, out, "", "xgene", ckpt, false, "", "", 1); err != nil {
+	if err := run("TFF", "mcf,gromacs", "4", 2400, 3, 980, 800, 1, out, "", "xgene", ckpt, false, "", "", 1, "batch"); err != nil {
 		t.Fatal(err)
 	}
 	blob, err = os.ReadFile(out)
@@ -106,28 +106,31 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	// Validation errors surface.
-	if err := run("XXX", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, "", "", 1); err == nil {
+	if err := run("XXX", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, "", "", 1, "grid"); err == nil {
 		t.Error("bad corner accepted")
 	}
-	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "warp", "", false, "", "", 1); err == nil {
+	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "warp", "", false, "", "", 1, "grid"); err == nil {
 		t.Error("bad model accepted")
 	}
-	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, filepath.Join(dir, "no-such-dir", "t.jsonl"), "", 1); err == nil {
+	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, filepath.Join(dir, "no-such-dir", "t.jsonl"), "", 1, "grid"); err == nil {
 		t.Error("unwritable trace-out accepted")
+	}
+	if err := run("TTT", "mcf", "4", 2400, 3, 980, 800, 1, "-", "", "xgene", "", false, "", "", 1, "warp"); err == nil {
+		t.Error("bad engine accepted")
 	}
 }
 
-// The parallel engine behind -parallelism writes the same CSV the
-// sequential path does.
+// The batch engine behind the default -engine writes the same CSV the
+// single-worker grid engine does, at any -parallelism.
 func TestRunParallelMatchesSequential(t *testing.T) {
 	dir := t.TempDir()
 	seq := filepath.Join(dir, "seq.csv")
 	par := filepath.Join(dir, "par.csv")
 
-	if err := run("TTT", "mcf,gromacs", "0,4", 2400, 3, 980, 800, 1, seq, "", "xgene", "", false, "", "", 1); err != nil {
+	if err := run("TTT", "mcf,gromacs", "0,4", 2400, 3, 980, 800, 1, seq, "", "xgene", "", false, "", "", 1, "grid"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("TTT", "mcf,gromacs", "0,4", 2400, 3, 980, 800, 1, par, "", "xgene", "", false, "", "", 4); err != nil {
+	if err := run("TTT", "mcf,gromacs", "0,4", 2400, 3, 980, 800, 1, par, "", "xgene", "", false, "", "", 4, "batch"); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(seq)

@@ -384,19 +384,36 @@ func Parse(records []RunRecord) []*CampaignResult {
 		freq               units.MegaHertz
 	}
 	byKey := map[key]map[units.MilliVolts]*Tally{}
+	// Record streams arrive grouped by campaign and voltage step (the
+	// engines' canonical order), so the common case is "same key and step
+	// as the previous record" — track both and fall back to the maps only
+	// on transitions. Grouping is by value equality, so out-of-order
+	// streams still parse identically, just slower.
+	var (
+		curKey   key
+		curSteps map[units.MilliVolts]*Tally
+		curVolt  units.MilliVolts
+		curTally *Tally
+	)
 	for _, r := range records {
 		k := key{r.Chip, r.Benchmark, r.Input, r.Core, r.Frequency}
-		m, ok := byKey[k]
-		if !ok {
-			m = map[units.MilliVolts]*Tally{}
-			byKey[k] = m
+		if curSteps == nil || k != curKey {
+			m, ok := byKey[k]
+			if !ok {
+				m = map[units.MilliVolts]*Tally{}
+				byKey[k] = m
+			}
+			curKey, curSteps, curTally = k, m, nil
 		}
-		t, ok := m[r.Voltage]
-		if !ok {
-			t = &Tally{}
-			m[r.Voltage] = t
+		if curTally == nil || r.Voltage != curVolt {
+			t, ok := curSteps[r.Voltage]
+			if !ok {
+				t = &Tally{}
+				curSteps[r.Voltage] = t
+			}
+			curVolt, curTally = r.Voltage, t
 		}
-		t.Add(r.Classify())
+		curTally.Add(r.Classify())
 	}
 	var keys []key
 	for k := range byKey {

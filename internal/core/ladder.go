@@ -1,0 +1,364 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"xvolt/internal/obs"
+	"xvolt/internal/silicon"
+	"xvolt/internal/trace"
+	"xvolt/internal/units"
+	"xvolt/internal/workload"
+	"xvolt/internal/xgene"
+)
+
+// LadderRunner is the batch campaign engine: instead of one fully locked
+// machine call per (benchmark, core, voltage, run) grid cell, each worker
+// takes a single state snapshot of its pooled board per campaign and
+// samples the whole voltage ladder from it (xgene.SampleCell), writing
+// records into pooled arenas. Three properties make the output
+// byte-identical to the sequential Framework and the parallel Runner:
+//
+//   - every campaign draws from its own CampaignSeed-derived stream, and a
+//     sampled cell consumes that stream in exactly RunOnCore's draw order;
+//   - cells in the clean region — PMD rail at or above the
+//     protection-adjusted safe floor, with clean SoC/DRAM state — are
+//     synthesized without consuming any draws, because the sampled path
+//     would consume none either (silicon.EffectiveSafeVmin's contract);
+//   - the early-exit rule (StopAfterCrashSteps consecutive all-crash
+//     steps) is evaluated on the same per-step crash counts the
+//     sequential sweep sees.
+//
+// The engine's determinism domain matches the Runner's: machine factories
+// whose boards start with clean LadderState (nominal SoC rail, refresh at
+// or below the leak threshold). Outside that domain board state is not
+// partition-stable across workers under any engine.
+type LadderRunner struct {
+	pool        *xgene.Pool
+	parallelism int
+	noMemo      bool
+
+	log     *trace.Log
+	reg     *obs.Registry
+	metrics runnerMetrics
+
+	mu         sync.Mutex
+	recoveries int
+}
+
+// NewLadderRunner builds a batch engine over a machine factory. Boards
+// are drawn from a pool and recycled across Execute calls rather than
+// refabricated per worker.
+func NewLadderRunner(newMachine func() *xgene.Machine) *LadderRunner {
+	return &LadderRunner{pool: xgene.NewPool(newMachine)}
+}
+
+// SetCampaignMemo toggles the process-wide campaign memo (campcache.go)
+// for this engine. On by default; tests exercising the cold path turn it
+// off.
+func (r *LadderRunner) SetCampaignMemo(on bool) { r.noMemo = !on }
+
+// SetParallelism fixes the worker count. Zero or negative (the default)
+// means GOMAXPROCS; 1 degenerates to a sequential sweep with identical
+// results.
+func (r *LadderRunner) SetParallelism(n int) { r.parallelism = n }
+
+func (r *LadderRunner) workerCount(n int) int {
+	w := r.parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// SetMetrics registers the engine's worker-pool telemetry on reg. The
+// instrument families are shared with the Runner's (get-or-create), so a
+// process running both engines folds into one exposition.
+func (r *LadderRunner) SetMetrics(reg *obs.Registry) {
+	r.reg = reg
+	r.metrics = runnerMetrics{
+		workers: reg.Gauge("xvolt_runner_workers",
+			"Campaign-engine worker pool size across active Execute calls."),
+		busy: reg.Gauge("xvolt_runner_busy_workers",
+			"Workers currently executing a campaign."),
+		queued: reg.Gauge("xvolt_runner_queued_campaigns",
+			"Campaigns accepted by the engine but not yet started."),
+		done: reg.Counter("xvolt_runner_campaigns_done_total",
+			"Campaigns the engine completed."),
+		latency: reg.HistogramVec("xvolt_runner_campaign_seconds",
+			"Campaign wall time per (benchmark, core) sweep, by worker index.", nil, "worker"),
+	}
+}
+
+// SetTrace attaches a shared structured event log. With a log attached
+// the batch engine emits the Framework's full event schema — campaign,
+// step, run, crash and recovery — so downstream JSONL consumers see one
+// stream shape regardless of engine; with none attached the hot loop
+// pays nothing for tracing.
+func (r *LadderRunner) SetTrace(l *trace.Log) { r.log = l }
+
+// Trace returns the attached event log (nil if none).
+func (r *LadderRunner) Trace() *trace.Log { return r.log }
+
+// Recoveries reports the watchdog power cycles the sampled crashes would
+// have required — exactly one per system-crash record, which is what the
+// sequential engine's watchdog performs.
+func (r *LadderRunner) Recoveries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recoveries
+}
+
+// Execute runs the configuration grid and returns the raw per-run records
+// in canonical grid order — the same stream Framework.Execute produces.
+func (r *LadderRunner) Execute(cfg Config) ([]RunRecord, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return r.executeGrid(cfg, cfg.Grid())
+}
+
+// ExecuteCampaigns runs an explicit campaign list (one benchmark pinned
+// per core, Figure 9 style); records come back in list order.
+func (r *LadderRunner) ExecuteCampaigns(cfg Config, grid []Campaign) ([]RunRecord, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		if c.Spec == nil {
+			return nil, fmt.Errorf("core: campaign %d has no benchmark", i)
+		}
+		if c.Core < 0 || c.Core >= silicon.NumCores {
+			return nil, fmt.Errorf("core: campaign %d core %d out of range", i, c.Core)
+		}
+	}
+	return r.executeGrid(cfg, grid)
+}
+
+// Characterize runs Execute and the parsing phase end to end.
+func (r *LadderRunner) Characterize(cfg Config) ([]*CampaignResult, error) {
+	recs, err := r.Execute(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(recs), nil
+}
+
+// recordArenaPool recycles per-campaign record buffers across campaigns
+// and Execute calls (the regress.Fit workspace pattern). Buffers are
+// staged per grid slot and returned after assembly into the exact-size
+// output slice.
+var recordArenaPool = sync.Pool{
+	New: func() any {
+		b := make([]RunRecord, 0, 512)
+		return &b
+	},
+}
+
+// executeGrid is the worker pool. Results land in a per-campaign slot
+// table indexed by grid position, so assembly order never depends on
+// which worker finished first.
+func (r *LadderRunner) executeGrid(cfg Config, grid []Campaign) ([]RunRecord, error) {
+	if len(grid) == 0 {
+		return nil, nil
+	}
+	if r.pool == nil {
+		return nil, errors.New("core: ladder runner has no machine pool")
+	}
+	if r.reg != nil && r.log != nil {
+		r.log.SetMetrics(r.reg)
+	}
+	workers := r.workerCount(len(grid))
+	r.metrics.workers.Add(float64(workers))
+	defer r.metrics.workers.Add(-float64(workers))
+	r.metrics.queued.Add(float64(len(grid)))
+
+	jobs := make(chan int)
+	out := make([][]RunRecord, len(grid))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wm := r.pool.Get()
+			defer r.pool.Put(wm)
+			bs := wm.BatchState()
+			label := strconv.Itoa(worker)
+			crashes := 0
+			for idx := range jobs {
+				r.metrics.queued.Dec()
+				camp := grid[idx]
+				r.metrics.busy.Inc()
+				span := obs.StartSpan(r.metrics.latency.With(label))
+				out[idx] = r.oneCampaign(wm, bs, camp.Spec, camp.Core, &cfg, &crashes)
+				span.End()
+				r.metrics.busy.Dec()
+				r.metrics.done.Inc()
+			}
+			r.mu.Lock()
+			r.recoveries += crashes
+			r.mu.Unlock()
+		}(w)
+	}
+	for i := range grid {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	n := 0
+	for _, recs := range out {
+		n += len(recs)
+	}
+	all := make([]RunRecord, 0, n)
+	for _, recs := range out {
+		all = append(all, recs...)
+	}
+	return all, nil
+}
+
+// oneCampaign resolves one grid cell: a memo hit replays the stored
+// stream, a miss sweeps the ladder into a pooled arena and stores a
+// compact copy. Either way the returned slice is read-only shared state.
+func (r *LadderRunner) oneCampaign(wm *xgene.Machine, bs xgene.BatchState, spec *workload.Spec, coreID int, cfg *Config, crashes *int) []RunRecord {
+	var key memoKey
+	if !r.noMemo {
+		key = newMemoKey(bs, spec, coreID, cfg)
+		if recs, ok := lookupCampaign(key); ok {
+			r.replayCampaign(recs, bs, spec, coreID, cfg, crashes)
+			return recs
+		}
+	}
+	bufp := recordArenaPool.Get().(*[]RunRecord)
+	buf := r.runLadder(wm, bs, spec, coreID, cfg, (*bufp)[:0], crashes)
+	recs := make([]RunRecord, len(buf))
+	copy(recs, buf)
+	*bufp = buf
+	recordArenaPool.Put(bufp)
+	if !r.noMemo {
+		storeCampaign(key, recs)
+	}
+	return recs
+}
+
+// replayCampaign accounts a memoized campaign: crash records still count
+// as watchdog recoveries, and with a trace log attached the stored
+// record stream is replayed as the exact event sequence a live sweep
+// would emit, so memo hits never thin out the trace.
+func (r *LadderRunner) replayCampaign(recs []RunRecord, bs xgene.BatchState, spec *workload.Spec, coreID int, cfg *Config, crashes *int) {
+	if r.log == nil {
+		for i := range recs {
+			if recs[i].SystemCrashed {
+				*crashes++
+			}
+		}
+		return
+	}
+	r.log.Emit(trace.CampaignStart, "%s on %s core %d at %v (memo)", spec.ID(), bs.Chip.Name, coreID, cfg.Frequency)
+	for i := range recs {
+		rec := &recs[i]
+		if i == 0 || rec.Voltage != recs[i-1].Voltage {
+			r.log.Emit(trace.StepStart, "%s core %d step %v", spec.ID(), coreID, rec.Voltage)
+		}
+		if rec.SystemCrashed {
+			*crashes++
+			r.log.Emit(trace.SystemCrash, "%s core %d at %v: system hang", spec.ID(), coreID, rec.Voltage)
+			r.log.Emit(trace.Recovery, "watchdog power-cycled the board (recovery #%d)", *crashes)
+		}
+		r.log.Emit(trace.RunDone, "%s core %d %v run %d -> %s", spec.ID(), coreID, rec.Voltage, rec.RunIndex, rec.Classify())
+	}
+	r.log.Emit(trace.CampaignEnd, "%s on core %d", spec.ID(), coreID)
+}
+
+// runLadder sweeps one (benchmark, core) campaign downward against the
+// worker board's state snapshot, appending records to buf.
+func (r *LadderRunner) runLadder(wm *xgene.Machine, bs xgene.BatchState, spec *workload.Spec, coreID int, cfg *Config, buf []RunRecord, crashes *int) []RunRecord {
+	if r.log != nil {
+		r.log.Emit(trace.CampaignStart, "%s on %s core %d at %v", spec.ID(), bs.Chip.Name, coreID, cfg.Frequency)
+		defer r.log.Emit(trace.CampaignEnd, "%s on core %d", spec.ID(), coreID)
+	}
+	rng := newCampaignRand(CampaignSeed(cfg.Seed, bs.Chip.Name, spec.Name, spec.Input, coreID))
+	margins := wm.Assess(coreID, spec, units.RegimeOf(cfg.Frequency))
+	cleanAbove := silicon.EffectiveSafeVmin(margins, bs.Prot)
+	golden := spec.Golden()
+
+	proto := RunRecord{
+		Chip:      bs.Chip.Name,
+		Benchmark: spec.Name,
+		Input:     spec.Input,
+		Core:      coreID,
+		Frequency: cfg.Frequency,
+	}
+	st := bs.State
+	consecutiveAllCrash := 0
+	for v := cfg.StartVoltage; v >= cfg.StopVoltage; v -= units.VoltageStep {
+		if r.log != nil {
+			r.log.Emit(trace.StepStart, "%s core %d step %v", spec.ID(), coreID, v)
+		}
+		if v >= cleanAbove && st.Clean(bs.Chip) {
+			// Clean region: the sampled path would return zero effects
+			// without consuming a single draw, so the step's records are
+			// synthesized outright. A clean step resets the early-exit
+			// crash counter, same as a sampled step with zero crashes.
+			for run := 0; run < cfg.Runs; run++ {
+				rec := proto
+				rec.Voltage = v
+				rec.RunIndex = run
+				if r.log != nil {
+					r.log.Emit(trace.RunDone, "%s core %d %v run %d -> %s", spec.ID(), coreID, v, run, rec.Classify())
+				}
+				buf = append(buf, rec)
+			}
+			consecutiveAllCrash = 0
+			continue
+		}
+		crashesThisStep := 0
+		for run := 0; run < cfg.Runs; run++ {
+			cell := xgene.SampleCell(rng, bs, st, margins, v)
+			rec := proto
+			rec.Voltage = v
+			rec.RunIndex = run
+			rec.DeltaCE = cell.Delta.TotalCE()
+			rec.DeltaUE = cell.Delta.TotalUE()
+			rec.ByLocation = cell.Delta
+			switch {
+			case cell.Effects.SC:
+				rec.SystemCrashed = true
+				rec.ExitCode = -1
+				rec.Recovered = true
+				st.ResetAfterCrash()
+				crashesThisStep++
+				*crashes++
+				if r.log != nil {
+					r.log.Emit(trace.SystemCrash, "%s core %d at %v: system hang", spec.ID(), coreID, v)
+					r.log.Emit(trace.Recovery, "watchdog power-cycled the board (recovery #%d)", *crashes)
+				}
+			case cell.Effects.AC:
+				rec.ExitCode = 134
+			case cell.Effects.SDC:
+				rec.OutputMismatch = spec.Run(workload.NewBitflip(rng, cell.Effects.SDCBits)) != golden
+			}
+			if r.log != nil {
+				r.log.Emit(trace.RunDone, "%s core %d %v run %d -> %s", spec.ID(), coreID, v, run, rec.Classify())
+			}
+			buf = append(buf, rec)
+		}
+		if cfg.StopAfterCrashSteps > 0 {
+			if crashesThisStep == cfg.Runs {
+				consecutiveAllCrash++
+				if consecutiveAllCrash >= cfg.StopAfterCrashSteps {
+					break
+				}
+			} else {
+				consecutiveAllCrash = 0
+			}
+		}
+	}
+	return buf
+}

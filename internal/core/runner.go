@@ -44,9 +44,13 @@ func (c *Config) Grid() []Campaign {
 // sequential Framework.Execute over the same Config.
 //
 // A Runner is safe for concurrent Execute calls; each call spins up its
-// own worker pool over fresh machines.
+// own worker pool over pooled machines (boards are recycled between
+// Execute calls rather than re-fabricated — a Recycle is a power cycle,
+// which lands on the same power-on state a fresh factory board boots
+// into).
 type Runner struct {
 	newMachine  func() *xgene.Machine
+	pool        *xgene.Pool
 	parallelism int
 
 	log     *trace.Log
@@ -71,7 +75,7 @@ type runnerMetrics struct {
 // newMachine once to obtain its private board (use xgene.Machine.Clone to
 // replicate a configured prototype).
 func NewRunner(newMachine func() *xgene.Machine) *Runner {
-	return &Runner{newMachine: newMachine}
+	return &Runner{newMachine: newMachine, pool: xgene.NewPool(newMachine)}
 }
 
 // SetParallelism fixes the worker count. Zero or negative (the default)
@@ -194,7 +198,9 @@ func (r *Runner) executeGrid(cfg Config, grid []Campaign) ([]RunRecord, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			fw := New(r.newMachine())
+			wm := r.pool.Get()
+			defer r.pool.Put(wm)
+			fw := New(wm)
 			if r.reg != nil {
 				fw.SetMetrics(r.reg)
 			}

@@ -15,6 +15,7 @@ func BenchmarkFleetPoll(b *testing.B) {
 		b.Fatal(err)
 	}
 	m.Run(64) // reach steady state before measuring
+	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run(b.N)
 }

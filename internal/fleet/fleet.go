@@ -143,6 +143,14 @@ type board struct {
 	rng     *rand.Rand // run non-determinism stream
 	ivalRng *rand.Rand // poll-interval jitter stream
 
+	// margins is the board's characterized margin assessment for its
+	// (core, workload) pair at full speed, cached once after
+	// characterization so the poll hot loop never re-derives it — polls
+	// always run the target core at MaxFrequency (applyOperatingPoint
+	// restores that after every reboot), so the cached regime is the
+	// regime every poll run executes under.
+	margins silicon.Margins
+
 	floor  units.MilliVolts // characterized safe Vmin
 	gb     guardband
 	health healthMachine
@@ -274,7 +282,7 @@ func (b *board) poll(due time.Duration, cfg *Config) pollOutcome {
 	mv := int(b.voltage())
 	for r := 0; r < cfg.RunsPerPoll; r++ {
 		before := b.machine.EDAC().Snapshot()
-		res, err := b.machine.RunOnCore(b.coreID, b.spec, b.rng)
+		res, err := b.machine.RunOnCoreAssessed(b.coreID, b.spec, b.rng, b.margins)
 		var obsv core.Observation
 		switch {
 		case err != nil || !res.SystemUp:
@@ -374,6 +382,12 @@ type Manager struct {
 	// are created, so the hook must not lock).
 	vclock atomic.Int64
 
+	// gen counts committed snapshot generations: 1 after New, +1 per Run
+	// that committed at least one poll. Snapshot readers (the HTTP layer)
+	// key caches and ETags off it — equal generations imply identical
+	// Boards/Health/Transitions snapshots.
+	gen atomic.Uint64
+
 	runMu sync.Mutex // serializes Run calls
 }
 
@@ -413,6 +427,7 @@ func New(cfg Config) (*Manager, error) {
 		if err := m.characterize(b); err != nil {
 			return nil, fmt.Errorf("fleet: %s: %w", b.id, err)
 		}
+		b.margins = b.machine.Assess(b.coreID, b.spec, units.RegimeOf(units.MaxFrequency))
 		b.gb = newGuardband(cfg.Guardband, b.floor)
 		b.applyOperatingPoint()
 		b.nextDue = b.nextInterval(&cfg)
@@ -432,8 +447,14 @@ func New(cfg Config) (*Manager, error) {
 		m.m.events.With(UndervoltApplied.String()).Inc()
 		m.status = append(m.status, b.status(0))
 	}
+	m.gen.Store(1)
 	return m, nil
 }
+
+// Generation returns the fleet's snapshot generation. It changes exactly
+// when a Run commit changes the observable snapshots, so readers may
+// serve cached serializations while it is unchanged.
+func (m *Manager) Generation() uint64 { return m.gen.Load() }
 
 // characterize finds a board's safe floor with the fast bisection
 // protocol on its own derived seed.
@@ -532,6 +553,7 @@ func (m *Manager) Run(polls int) {
 		m.traceOutcomeLocked(&outcomes[si])
 	}
 	m.publishGaugesLocked()
+	m.gen.Add(1)
 }
 
 // commitLocked folds one poll outcome into the store, transition log,

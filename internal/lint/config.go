@@ -38,6 +38,10 @@ func DefaultConfig() Config {
 			"xvolt/internal/energy",
 			"xvolt/internal/sched",
 			"xvolt/internal/fleet",
+			// xgene hosts the batch engine's sampling kernel (SampleCell)
+			// and machine pool — the exact-draw-order contract the batch ≡
+			// sequential equivalence rests on lives here.
+			"xvolt/internal/xgene",
 			// obs, trace and loadgen are scoped so their timing stays
 			// visible to the rule …
 			"xvolt/internal/obs",
@@ -61,6 +65,7 @@ func DefaultConfig() Config {
 			"xvolt/internal/regress",
 			"xvolt/internal/fleet",
 			"xvolt/internal/loadgen",
+			"xvolt/internal/xgene",
 		},
 		SeedSources: []string{
 			"xvolt/internal/core.CampaignSeed",

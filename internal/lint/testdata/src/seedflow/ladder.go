@@ -1,0 +1,34 @@
+// Fixture for the batch voltage-ladder shape: one campaign stream per
+// (benchmark, core) cell, derived from the campaign seed before the
+// sweep starts — never re-seeded per voltage step, and never from the
+// step voltage itself.
+package seedflow
+
+import "math/rand"
+
+// campaignSeed mirrors the campaign engine's derivation helper; its
+// name marks the result as a derived seed.
+func campaignSeed(seed int64, core int) int64 {
+	h := (uint64(seed) + uint64(core)) * 0x9e3779b97f4a7c15
+	return int64(h)
+}
+
+// goodLadder draws one stream per campaign cell and samples the whole
+// ladder from it.
+func goodLadder(seed int64, cores []int) []*rand.Rand {
+	out := make([]*rand.Rand, 0, len(cores))
+	for _, c := range cores {
+		out = append(out, rand.New(rand.NewSource(campaignSeed(seed, c))))
+	}
+	return out
+}
+
+// badLadder re-seeds every voltage step from the step voltage — the
+// stream identity silently becomes a function of the sweep grid.
+func badLadder(start, stop int) []*rand.Rand {
+	var out []*rand.Rand
+	for v := start; v >= stop; v -= 5 {
+		out = append(out, rand.New(rand.NewSource(int64(v)))) // per-step reseed off the voltage
+	}
+	return out
+}

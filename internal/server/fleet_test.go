@@ -2,6 +2,9 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -186,5 +189,86 @@ func TestFleetMetricsExposition(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// The /api/fleet snapshot is serialized once per fleet generation and
+// revalidated for free: repeated GETs serve identical bytes with a
+// generation-keyed ETag, a matching If-None-Match gets 304 with no body,
+// and committing polls changes the generation (and the ETag) so caches
+// never serve a stale snapshot.
+func TestFleetSnapshotCaching(t *testing.T) {
+	s, m, _ := fleetServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fetch := func(inm string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/fleet", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp1, body1 := fetch("")
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first GET = %d", resp1.StatusCode)
+	}
+	etag := resp1.Header.Get("ETag")
+	want := fmt.Sprintf("\"fleet-%d\"", m.Generation())
+	if etag != want {
+		t.Fatalf("ETag = %q, want %q", etag, want)
+	}
+
+	// Unchanged generation: identical bytes, and a conditional GET 304s.
+	if resp2, body2 := fetch(""); resp2.StatusCode != 200 || body2 != body1 {
+		t.Fatalf("repeat GET diverged: %d, equal=%v", resp2.StatusCode, body2 == body1)
+	}
+	if resp3, body3 := fetch(etag); resp3.StatusCode != http.StatusNotModified || body3 != "" {
+		t.Fatalf("conditional GET = %d with %d body bytes, want 304 empty", resp3.StatusCode, len(body3))
+	}
+
+	// A poll commit bumps the generation: the stale ETag revalidates to a
+	// fresh 200 with a new tag.
+	gen := m.Generation()
+	m.Run(4)
+	if m.Generation() == gen {
+		t.Fatal("Run did not bump the generation")
+	}
+	resp4, body4 := fetch(etag)
+	if resp4.StatusCode != 200 || resp4.Header.Get("ETag") == etag {
+		t.Fatalf("post-commit conditional GET = %d, ETag %q", resp4.StatusCode, resp4.Header.Get("ETag"))
+	}
+	var dto struct {
+		Boards []map[string]interface{} `json:"boards"`
+	}
+	if err := json.Unmarshal([]byte(body4), &dto); err != nil {
+		t.Fatal(err)
+	}
+	if len(dto.Boards) != 4 {
+		t.Fatalf("post-commit snapshot has %d boards", len(dto.Boards))
+	}
+
+	// Detach-and-reattach must not serve the old manager's cache.
+	s.SetFleet(nil)
+	if code, _ := get(t, ts, "/api/fleet"); code != 404 {
+		t.Fatal("detached fleet still served")
+	}
+	s.SetFleet(m)
+	if resp5, body5 := fetch(""); resp5.StatusCode != 200 || body5 != body4 {
+		t.Fatal("reattached fleet serves wrong snapshot")
 	}
 }

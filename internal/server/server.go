@@ -6,6 +6,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -32,6 +33,18 @@ type Server struct {
 	metrics  atomic.Pointer[httpMetrics]
 	tracer   atomic.Pointer[trace.Tracer]
 	alerts   atomic.Pointer[obs.AlertEngine]
+
+	// fleetCache holds the serialized /api/fleet body for one (manager,
+	// generation) pair. Board status only changes at poll commits, which
+	// bump the manager's generation, so between commits every request is
+	// served from this buffer — and clients that echo the generation-keyed
+	// ETag get a 304 with no body at all.
+	fleetCache struct {
+		mu   sync.Mutex
+		mgr  *fleet.Manager
+		gen  uint64
+		body []byte
+	}
 }
 
 // httpMetrics are the per-endpoint request instruments plus the registry
@@ -66,6 +79,10 @@ func New(fw *core.Framework) *Server {
 // /api/fleet endpoints serve from it. Safe to call while serving.
 func (s *Server) SetFleet(m *fleet.Manager) {
 	s.fleetMgr.Store(m)
+	s.fleetCache.mu.Lock()
+	s.fleetCache.mgr = nil
+	s.fleetCache.body = nil
+	s.fleetCache.mu.Unlock()
 }
 
 // SetMetrics attaches a registry: every endpoint gains request counting
@@ -203,9 +220,44 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	writeJSON(w, struct {
+	gen := m.Generation()
+	etag := fmt.Sprintf("\"fleet-%d\"", gen)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := s.fleetBody(m, gen)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+// fleetBody returns the serialized board snapshot for a generation,
+// serving from the cache when the manager and generation both match. The
+// bytes are identical to what writeJSON would stream for the same
+// snapshot (same encoder, same indent).
+func (s *Server) fleetBody(m *fleet.Manager, gen uint64) ([]byte, error) {
+	s.fleetCache.mu.Lock()
+	defer s.fleetCache.mu.Unlock()
+	if s.fleetCache.mgr == m && s.fleetCache.gen == gen && s.fleetCache.body != nil {
+		return s.fleetCache.body, nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(struct {
 		Boards []fleet.BoardStatus `json:"boards"`
-	}{m.Boards()})
+	}{m.Boards()}); err != nil {
+		return nil, err
+	}
+	s.fleetCache.mgr = m
+	s.fleetCache.gen = gen
+	s.fleetCache.body = buf.Bytes()
+	return s.fleetCache.body, nil
 }
 
 func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {

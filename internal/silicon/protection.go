@@ -68,6 +68,22 @@ const (
 // Stock returns the unmodified X-Gene 2 configuration.
 func Stock() Protection { return Protection{ECC: SECDED} }
 
+// EffectiveSafeVmin returns the voltage at or above which
+// SampleRunProtected is guaranteed to return clean effects without
+// consuming a single RNG draw, for the given enhancement configuration.
+// It mirrors the margin adjustment SampleRunProtected applies before the
+// SafeVmin early-out in SampleRun — the contract the batch engine's
+// clean-region synthesis rests on (a synthesized cell and a sampled cell
+// are indistinguishable because neither touches the stream).
+func EffectiveSafeVmin(m Margins, p Protection) units.MilliVolts {
+	if p.AdaptiveClocking {
+		if adj := m.SafeVmin - AdaptiveMarginMV; adj > m.CrashVmax {
+			return adj.SnapUp()
+		}
+	}
+	return m.SafeVmin
+}
+
 // SampleRunProtected draws one run's effects under the given enhancement
 // configuration. With the stock configuration it is exactly SampleRun.
 func SampleRunProtected(rng *rand.Rand, m Margins, v units.MilliVolts, model Model, p Protection) RunEffects {
