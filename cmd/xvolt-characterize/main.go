@@ -105,6 +105,7 @@ func run(chipName, benchList, coreList string, freq, runs, start, stop int, seed
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		//xvolt:lint-ignore goroleak metrics listener is process-lifetime; it dies with the CLI
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				log.Printf("metrics listener: %v", err)

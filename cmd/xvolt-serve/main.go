@@ -111,6 +111,7 @@ func run(ctx context.Context, addr, chipName, benchList, coreList string, runs i
 	}
 
 	// The study runs in the background; results publish as it finishes.
+	//xvolt:lint-ignore goroleak background campaign publishes into the server and is bounded by process lifetime
 	go func() {
 		cfg := core.DefaultConfig(benchmarks, cores)
 		cfg.Runs = runs

@@ -278,6 +278,8 @@ func (r *LadderRunner) replayCampaign(recs []RunRecord, bs xgene.BatchState, spe
 
 // runLadder sweeps one (benchmark, core) campaign downward against the
 // worker board's state snapshot, appending records to buf.
+//
+//xvolt:hotpath inner sweep loop; allocation profile pinned by BENCH_baseline.json
 func (r *LadderRunner) runLadder(wm *xgene.Machine, bs xgene.BatchState, spec *workload.Spec, coreID int, cfg *Config, buf []RunRecord, crashes *int) []RunRecord {
 	if r.log != nil {
 		r.log.Emit(trace.CampaignStart, "%s on %s core %d at %v", spec.ID(), bs.Chip.Name, coreID, cfg.Frequency)

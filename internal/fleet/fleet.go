@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -270,6 +271,8 @@ type pollOutcome struct {
 // operating point, classification from observables only (output
 // comparison, EDAC deltas, liveness), watchdog recovery on crashes,
 // health-machine update, and guardband reaction.
+//
+//xvolt:hotpath fleet poll loop; every board crosses this each tick
 func (b *board) poll(due time.Duration, cfg *Config) pollOutcome {
 	o := pollOutcome{board: b.index, due: due, runs: cfg.RunsPerPoll}
 	stage := func(e Event) {
@@ -344,14 +347,14 @@ func (b *board) poll(due time.Duration, cfg *Config) pollOutcome {
 				kind = GuardbandNarrowed
 			}
 			stage(Event{Kind: kind, MV: int(b.gb.marginMV()),
-				Msg: fmt.Sprintf("margin %+d steps on %s", delta, to)})
+				Msg: "margin " + signedSteps(delta) + " steps on " + to.String()})
 			b.applyOperatingPoint()
 			stage(Event{Kind: UndervoltApplied, MV: int(b.voltage()), Msg: "rail re-programmed"})
 		}
 	} else if b.health.state == Healthy {
 		if delta := b.gb.onHealthyPoll(cfg.Guardband); delta != 0 {
 			stage(Event{Kind: GuardbandNarrowed, MV: int(b.gb.marginMV()),
-				Msg: fmt.Sprintf("margin %+d step after healthy streak", delta)})
+				Msg: "margin " + signedSteps(delta) + " step after healthy streak"})
 			b.applyOperatingPoint()
 			stage(Event{Kind: UndervoltApplied, MV: int(b.voltage()), Msg: "rail re-programmed"})
 		}
@@ -688,6 +691,15 @@ func (m *Manager) Health() HealthSummary {
 		h.MeanSavings = savings / float64(len(m.status))
 	}
 	return h
+}
+
+// signedSteps renders a guardband delta with an explicit sign ("%+d"
+// without fmt — the poll hot path must not box operands).
+func signedSteps(delta int) string {
+	if delta >= 0 {
+		return "+" + strconv.Itoa(delta)
+	}
+	return strconv.Itoa(delta)
 }
 
 // ErrNoBoard is returned by API layers for unknown board ids.

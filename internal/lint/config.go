@@ -22,6 +22,24 @@ type Config struct {
 	// SeedSources are qualified function names ("pkgpath.Func") whose
 	// results count as derived campaign seeds.
 	SeedSources []string
+	// DetflowEntries are deterministic entry points, named by
+	// (*types.Func).FullName() — e.g.
+	// "(*xvolt/internal/core.LadderRunner).Execute". Everything statically
+	// reachable from one must stay free of wall clocks and global rand.
+	DetflowEntries []string
+	// DetflowAllow are FullName()s whose subtrees detflow exempts — the
+	// audited escape hatches beyond the (already invisible) injectable
+	// hook variables.
+	DetflowAllow []string
+	// HotpathRequired are FullName()s that must carry a //xvolt:hotpath
+	// annotation, so deleting the comment cannot silently drop a hot path
+	// out of hotalloc enforcement.
+	HotpathRequired []string
+	// NoCallGraph disables the interprocedural layer, reverting detrand,
+	// seedflow and maporder to their intraprocedural behavior. It exists
+	// for the tests that prove what the old analyzers miss; production
+	// configs leave it false.
+	NoCallGraph bool
 }
 
 // DefaultConfig returns the xvolt invariants.
@@ -73,6 +91,29 @@ func DefaultConfig() Config {
 			"xvolt/internal/regress.FoldSeed",
 			"xvolt/internal/regress.splitmix64",
 		},
+		// The whole-program determinism contract: campaign results and
+		// fleet event state are pure functions of their configs and seeds.
+		// Wall-clock use inside these trees must route through injectable
+		// hooks (`var now = …`), which static resolution cannot see — the
+		// approved seam.
+		DetflowEntries: []string{
+			"(*xvolt/internal/core.Runner).Execute",
+			"(*xvolt/internal/core.Runner).ExecuteCampaigns",
+			"(*xvolt/internal/core.LadderRunner).Execute",
+			"(*xvolt/internal/core.LadderRunner).ExecuteCampaigns",
+			"(*xvolt/internal/core.Framework).Execute",
+			"(*xvolt/internal/fleet.Manager).Run",
+			"(*xvolt/internal/fleet.Store).Append",
+		},
+		DetflowAllow: nil,
+		// The benchgate-protected hot paths; hotalloc enforces the
+		// annotation is present and the body stays allocation-disciplined.
+		HotpathRequired: []string{
+			"(*xvolt/internal/core.LadderRunner).runLadder",
+			"xvolt/internal/xgene.SampleCell",
+			"(*xvolt/internal/fleet.board).poll",
+			"(*xvolt/internal/obs.HDR).Observe",
+		},
 	}
 }
 
@@ -81,9 +122,13 @@ func Suite(cfg Config) []*Analyzer {
 	return []*Analyzer{
 		NewDetrand(cfg),
 		NewSeedflow(cfg),
-		NewMaporder(),
+		NewMaporder(cfg),
 		NewClonecheck(),
 		NewErrclose(),
+		NewDetflow(cfg),
+		NewLockorder(),
+		NewGoroleak(),
+		NewHotalloc(cfg),
 	}
 }
 

@@ -5,6 +5,13 @@
 // makes studies incomparable across machines — the property the
 // framework paper calls out as the precondition for cross-machine
 // comparisons.
+//
+// The rule is interprocedural: beyond direct uses, a deterministic
+// package calling a helper — any package, any depth — whose call tree
+// reaches a wall clock or a global rand draw is flagged at the call
+// site, with the laundering chain rendered in the message. Helpers
+// living inside deterministic scope are not re-flagged at their call
+// sites: the direct check already reports them at the source.
 
 package lint
 
@@ -105,7 +112,40 @@ func NewDetrand(cfg Config) *Analyzer {
 				return true
 			})
 		}
+		if !cfg.NoCallGraph {
+			detrandInterproc(pass, det, allowed)
+		}
 		return nil
 	}
 	return a
+}
+
+// detrandInterproc flags calls from this (deterministic) package into
+// helpers outside deterministic scope whose call trees reach a
+// nondeterminism source. In-scope callees are skipped — their direct
+// uses are reported at the source by the intraprocedural check above.
+func detrandInterproc(pass *Pass, det pkgSet, allowed map[string]bool) {
+	g := pass.Graph()
+	pkg := packageOf(pass)
+	for _, n := range g.nodes {
+		if n.pkg != pkg {
+			continue
+		}
+		for _, call := range n.calls {
+			callee := g.byFunc[call.callee]
+			if callee == nil || callee.pkg == pkg || det[callee.pkg.Path] {
+				continue
+			}
+			if w := callee.reachesWall; w != nil && !allowed[w.what] {
+				pass.Reportf(call.pos,
+					"%s launders a wall clock into deterministic package %s (%s): results must not depend on %s; inject a clock or derive from the campaign seed",
+					displayName(callee.fn), pass.Pkg.Path(), chainFact(callee, factWall), w.what)
+			}
+			if w := callee.reachesRand; w != nil && !allowed[w.what] {
+				pass.Reportf(call.pos,
+					"%s launders the global rand source into deterministic package %s (%s): draw from a *rand.Rand seeded via core.CampaignSeed instead",
+					displayName(callee.fn), pass.Pkg.Path(), chainFact(callee, factRand))
+			}
+		}
+	}
 }

@@ -3,11 +3,17 @@
 // checkpoint or result file — the study looks complete and is not. The
 // error must be checked, or visibly discarded with `_ =` where the
 // close genuinely cannot matter (read-only files at end of use).
+//
+// The `_ =` escape does NOT extend to flush-critical writers: a failed
+// (*bufio.Writer).Flush or (*gzip.Writer).Close means buffered bytes
+// never reached the underlying writer, so even a visible discard is a
+// truncated artifact. Those are flagged in blank-assign position too.
 
 package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -15,6 +21,15 @@ import (
 // errcloseMethods are the flagged method names.
 var errcloseMethods = map[string]bool{
 	"Close": true, "Flush": true, "Sync": true, "Write": true,
+}
+
+// errcloseFlushCritical are receiver.method pairs whose error is load-
+// bearing even when visibly discarded: the call is the moment buffered
+// bytes commit to the underlying writer.
+var errcloseFlushCritical = map[string]bool{
+	"bufio.Writer.Flush":         true,
+	"compress/gzip.Writer.Close": true,
+	"compress/gzip.Writer.Flush": true,
 }
 
 // errcloseStdReceivers are standard-library receiver types whose
@@ -42,6 +57,8 @@ func NewErrclose() *Analyzer {
 					checkErrclose(pass, n.Call, "discarded by defer (close explicitly and check, or wrap in a func that records it)")
 				case *ast.GoStmt:
 					checkErrclose(pass, n.Call, "discarded by go statement")
+				case *ast.AssignStmt:
+					checkFlushCritical(pass, n)
 				}
 				return true
 			})
@@ -74,6 +91,42 @@ func checkErrclose(pass *Pass, e ast.Expr, how string) {
 		return
 	}
 	pass.Reportf(call.Pos(), "error from %s %s", recvTypeName(sig)+"."+sel.Sel.Name, how)
+}
+
+// checkFlushCritical flags `_ = w.Flush()`-style blank assigns on
+// flush-critical writers, where a visible discard is still data loss.
+func checkFlushCritical(pass *Pass, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Rhs) != 1 {
+		return
+	}
+	for _, l := range n.Lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || !lastResultIsError(sig) {
+		return
+	}
+	key := recvTypeName(sig) + "." + sel.Sel.Name
+	if !errcloseFlushCritical[key] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s discarded with _ =: a failed %s leaves buffered bytes unwritten — check it and surface the truncation",
+		key, sel.Sel.Name)
 }
 
 // lastResultIsError reports whether the signature's final result is error.

@@ -41,7 +41,11 @@ type Analyzer struct {
 
 // Finding is one reported violation.
 type Finding struct {
-	Pos      token.Position
+	Pos token.Position
+	// Pkg is the import path of the package the finding was reported in —
+	// the primary sort key, so diagnostics group by package regardless of
+	// how files interleave lexically across directories.
+	Pkg      string
 	Analyzer string
 	Message  string
 	// Suppressed marks findings silenced by a lint-ignore pragma; they
@@ -72,6 +76,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:      p.Fset.Position(pos),
+		Pkg:      p.Pkg.Path(),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -138,6 +143,9 @@ type Result struct {
 	Suppressed []Finding
 	// UnusedPragmas lists well-formed pragmas that matched no finding.
 	UnusedPragmas []Finding
+	// Pragmas lists every well-formed lint-ignore pragma with its audit
+	// state (used or stale), for the -pragmas listing.
+	Pragmas []PragmaInfo
 }
 
 // Run executes the analyzers over every package of the program, applies
@@ -187,6 +195,7 @@ func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
 		res.Findings = append(res.Findings, f)
 	}
 	res.UnusedPragmas = pragmas.unused()
+	res.Pragmas = pragmas.infos()
 
 	for _, fs := range [][]Finding{res.Findings, res.Suppressed, res.UnusedPragmas} {
 		sortFindings(fs)
@@ -194,9 +203,14 @@ func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
 	return res, nil
 }
 
+// sortFindings orders diagnostics by (package, file, line, column,
+// analyzer) — the pinned ordering of the -json schema.
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}

@@ -44,6 +44,11 @@ type Program struct {
 	byPath map[string]*Package
 	std    types.ImporterFrom
 	facts  *factStore
+
+	// Call-graph memo (callgraph.go): rebuilt when LoadExtra grows the
+	// package list, so fixture tests always see a covering graph.
+	graphVal  *graph
+	graphPkgs int
 }
 
 // listedPkg mirrors the `go list -json` fields the loader consumes.

@@ -3,6 +3,12 @@
 // randomized map order — the classic way golden checksums break only
 // sometimes. The fix is always the same: collect the keys, sort them,
 // range over the sorted slice.
+//
+// Beyond direct writes, the rule is interprocedural via the call-graph
+// facts: a map-range body calling a helper whose call tree writes to
+// stdout (any call), or writes through an escaping conduit when the call
+// passes one, launders the randomized order just as surely — the helper
+// emits one ordered record per iteration.
 
 package lint
 
@@ -24,8 +30,8 @@ var maporderWriteMethods = map[string]bool{
 // extension point).
 var maporderBenignWriters = map[string]bool{}
 
-// NewMaporder builds the maporder analyzer.
-func NewMaporder() *Analyzer {
+// NewMaporder builds the maporder analyzer for a config.
+func NewMaporder(cfg Config) *Analyzer {
 	a := &Analyzer{
 		Name: "maporder",
 		Doc:  "flag map iteration that feeds ordered output without sorting keys",
@@ -37,7 +43,7 @@ func NewMaporder() *Analyzer {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				checkMaporder(pass, fn.Body)
+				checkMaporder(pass, fn.Body, !cfg.NoCallGraph)
 			}
 		}
 		return nil
@@ -45,7 +51,7 @@ func NewMaporder() *Analyzer {
 	return a
 }
 
-func checkMaporder(pass *Pass, body *ast.BlockStmt) {
+func checkMaporder(pass *Pass, body *ast.BlockStmt, interproc bool) {
 	// Flow-insensitive per-function context: which slices are sorted and
 	// which are joined anywhere in this function.
 	sorted := map[types.Object]bool{}
@@ -91,7 +97,7 @@ func checkMaporder(pass *Pass, body *ast.BlockStmt) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if why := orderedOutputIn(pass, rng.Body, sorted, joined); why != "" {
+		if why := orderedOutputIn(pass, rng.Body, sorted, joined, interproc); why != "" {
 			pass.Reportf(rng.Pos(),
 				"iterates over a map in randomized order while %s; collect the keys, sort them, then range over the sorted slice",
 				why)
@@ -102,7 +108,7 @@ func checkMaporder(pass *Pass, body *ast.BlockStmt) {
 
 // orderedOutputIn scans a map-range body for writes to ordered
 // destinations; it returns a description of the first one, or "".
-func orderedOutputIn(pass *Pass, body *ast.BlockStmt, sorted, joined map[types.Object]bool) string {
+func orderedOutputIn(pass *Pass, body *ast.BlockStmt, sorted, joined map[types.Object]bool, interproc bool) string {
 	var why string
 	ast.Inspect(body, func(n ast.Node) bool {
 		if why != "" {
@@ -133,11 +139,50 @@ func orderedOutputIn(pass *Pass, body *ast.BlockStmt, sorted, joined map[types.O
 			sig := fn.Type().(*types.Signature)
 			if sig.Recv() != nil && !maporderBenignWriters[recvTypeName(sig)] {
 				why = "calling " + obj.Name() + " on an ordered writer"
+				return true
 			}
+		}
+		if interproc {
+			why = launderedWrite(pass, call)
 		}
 		return true
 	})
 	return why
+}
+
+// launderedWrite reports an interprocedural ordered write behind a call
+// inside a map-range body: the callee's tree writes to stdout, or writes
+// through an escaping conduit and the call passes one. Helpers that only
+// fill their own local buffers carry no fact and are not flagged — the
+// caller may well sort what they return.
+func launderedWrite(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFuncObj(pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	// Only functions parsed into the graph (module and fixture packages)
+	// carry facts; stdlib callees resolve to nil here.
+	callee := pass.Graph().byFunc[fn]
+	if callee == nil {
+		return ""
+	}
+	if w := callee.reachesStdout; w != nil {
+		return "calling " + displayName(fn) + " which prints to stdout (" + chainFact(callee, factStdout) + ")"
+	}
+	if w := callee.reachesConduit; w != nil && callHasArgs(call) {
+		return "calling " + displayName(fn) + " which writes ordered output through a passed-in writer (" + chainFact(callee, factConduit) + ")"
+	}
+	return ""
+}
+
+// callHasArgs reports whether a call passes anything a write could land
+// in — a receiver or at least one argument.
+func callHasArgs(call *ast.CallExpr) bool {
+	if len(call.Args) > 0 {
+		return true
+	}
+	_, isMethod := call.Fun.(*ast.SelectorExpr)
+	return isMethod
 }
 
 // identObj resolves an expression to its object when it is a plain

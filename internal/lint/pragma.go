@@ -8,6 +8,7 @@ package lint
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -17,9 +18,21 @@ const pragmaPrefix = "xvolt:lint-ignore"
 // pragma is one parsed lint-ignore directive.
 type pragma struct {
 	pos      token.Position
+	pkg      string
 	analyzer string
 	reason   string
 	used     bool
+}
+
+// PragmaInfo is one audited suppression, as listed by -pragmas: where it
+// is, which analyzer it silences, the justification, and whether it
+// actually fired this run.
+type PragmaInfo struct {
+	Pos      token.Position
+	Pkg      string
+	Analyzer string
+	Reason   string
+	Used     bool
 }
 
 // pragmaSet indexes pragmas by file and line.
@@ -49,12 +62,13 @@ func collectPragmas(prog *Program) (*pragmaSet, []Finding) {
 					if analyzer == "" || reason == "" {
 						malformed = append(malformed, Finding{
 							Pos:      pos,
+							Pkg:      pkg.Path,
 							Analyzer: "pragma",
 							Message:  "malformed lint-ignore pragma: want //xvolt:lint-ignore <analyzer> <reason>",
 						})
 						continue
 					}
-					p := &pragma{pos: pos, analyzer: analyzer, reason: reason}
+					p := &pragma{pos: pos, pkg: pkg.Path, analyzer: analyzer, reason: reason}
 					lines := set.byFileLine[pos.Filename]
 					if lines == nil {
 						lines = map[int][]*pragma{}
@@ -91,10 +105,37 @@ func (s *pragmaSet) unused() []Finding {
 		if !p.used {
 			out = append(out, Finding{
 				Pos:      p.pos,
+				Pkg:      p.pkg,
 				Analyzer: "pragma",
 				Message:  "lint-ignore pragma for " + p.analyzer + " suppresses nothing; remove it",
 			})
 		}
 	}
+	return out
+}
+
+// infos lists every well-formed pragma in the same deterministic order as
+// findings: (package, file, line, analyzer).
+func (s *pragmaSet) infos() []PragmaInfo {
+	out := make([]PragmaInfo, 0, len(s.all))
+	for _, p := range s.all {
+		out = append(out, PragmaInfo{
+			Pos: p.pos, Pkg: p.pkg, Analyzer: p.analyzer,
+			Reason: p.reason, Used: p.used,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 	return out
 }

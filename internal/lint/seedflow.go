@@ -36,10 +36,19 @@ func NewSeedflow(cfg Config) *Analyzer {
 			return nil
 		}
 		s := &seedflow{pass: pass, sources: sources}
-		// Two fact sweeps settle intra-package sink chains regardless of
-		// declaration order (f wraps g wraps NewSource).
-		s.exportSinks()
-		s.exportSinks()
+		// Sink facts propagate over the call graph to a fixpoint, so a
+		// wrapper chain of any depth (f wraps g wraps h wraps NewSource)
+		// is settled regardless of declaration order — the fixed
+		// two-sweep version missed depth-3 chains. Cross-package chains
+		// settle through the shared fact store (dependencies are
+		// analyzed first).
+		if cfg.NoCallGraph {
+			s.exportSinks()
+			s.exportSinks()
+		} else {
+			for s.exportSinks() {
+			}
+		}
 		s.check()
 		return nil
 	}
@@ -77,8 +86,10 @@ func (s *seedflow) callSinkIndex(call *ast.CallExpr) (int, bool) {
 }
 
 // exportSinks marks package functions whose parameter reaches a seed
-// sink argument position.
-func (s *seedflow) exportSinks() {
+// sink argument position, reporting whether any new fact was exported
+// (the caller loops to a fixpoint).
+func (s *seedflow) exportSinks() bool {
+	changed := false
 	for _, file := range s.pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -108,13 +119,17 @@ func (s *seedflow) exportSinks() {
 				}
 				for i, p := range params {
 					if s.pass.Info.Uses[id] == p {
-						s.pass.ExportFact(fobj, seedSinkFact{Index: i})
+						if _, had := s.pass.ImportFact(fobj); !had {
+							s.pass.ExportFact(fobj, seedSinkFact{Index: i})
+							changed = true
+						}
 					}
 				}
 				return true
 			})
 		}
 	}
+	return changed
 }
 
 // check vets the seed argument of every sink call in the package.

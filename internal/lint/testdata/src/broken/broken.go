@@ -1,0 +1,7 @@
+// Deliberately ill-typed fixture for the loader's type-check error path.
+// It is only ever loaded by TestLoadExtraErrors; nothing imports it.
+package broken
+
+func oops() int {
+	return undefinedIdent
+}

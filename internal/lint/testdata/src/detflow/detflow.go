@@ -1,0 +1,36 @@
+// Fixture for detflow: deterministic entry points must not transitively
+// reach wall clocks or global rand, to any depth. The injectable-hook
+// seam (a function variable the graph cannot see) and the explicit
+// allowlist are the two audited escapes.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// now is the injectable hook: static resolution cannot see through a
+// function variable, which is exactly the approved seam.
+var now = time.Now
+
+// Entry launders a wall clock three frames down.
+func Entry() int64 { return step1() }
+
+func step1() int64 { return step2() }
+
+func step2() int64 { return time.Now().UnixNano() }
+
+// EntryRand reaches the global rand source through a helper.
+func EntryRand() int { return pick(3) }
+
+func pick(n int) int { return rand.Intn(n) }
+
+// EntryHook routes timing through the hook variable: invisible to the
+// graph, no finding.
+func EntryHook() int64 { return now().UnixNano() }
+
+// EntryAllowed calls a helper on the audited allowlist.
+func EntryAllowed() int64 { return audited() }
+
+// audited is allowlisted in the test config; its subtree is exempt.
+func audited() int64 { return time.Now().UnixNano() }

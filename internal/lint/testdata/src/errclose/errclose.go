@@ -4,6 +4,7 @@ package errclose
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/csv"
 	"os"
 	"strings"
@@ -42,4 +43,24 @@ func good(f *os.File, cw *csv.Writer, bw *bufio.Writer, sink *RowSink) error {
 	}
 	_ = f.Close() // explicit, visible discard
 	return nil
+}
+
+// badFlushCritical shows that `_ =` does NOT excuse flush-critical
+// writers: a failed flush or gzip close is a truncated artifact even
+// when the discard is visible.
+func badFlushCritical(bw *bufio.Writer, gz *gzip.Writer) {
+	_ = bw.Flush() // buffered bytes may never reach the file
+	_ = gz.Close() // gzip trailer may never be written
+	_ = gz.Flush() // compressed block may never commit
+}
+
+// goodFlushCritical checks each commit point.
+func goodFlushCritical(bw *bufio.Writer, gz *gzip.Writer) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := gz.Flush(); err != nil {
+		return err
+	}
+	return gz.Close()
 }

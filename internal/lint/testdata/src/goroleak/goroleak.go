@@ -1,0 +1,47 @@
+// Fixture for goroleak: goroutine launches need a visible join
+// (sync.WaitGroup) or cancellation path (context.Context).
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leak launches a goroutine nobody can stop or wait for.
+func leak(work func()) {
+	go func() { work() }()
+}
+
+// leakCall spawns a named function with no join either.
+func leakCall() {
+	go tick()
+}
+
+func tick() {}
+
+// joinedWG is the worker-pool shape: the WaitGroup is visible in the
+// closure body.
+func joinedWG(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// joinedCtx is the daemon shape: the context bounds the lifetime.
+func joinedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// joinedArg passes the context to a named worker.
+func joinedArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }

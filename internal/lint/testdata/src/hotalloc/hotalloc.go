@@ -1,0 +1,46 @@
+// Fixture for hotalloc: annotated hot paths must stay
+// allocation-disciplined, and functions the config requires to be hot
+// must actually carry the annotation.
+package hotalloc
+
+import "fmt"
+
+// hot breaks every rule at once.
+//
+//xvolt:hotpath fixture hot path
+func hot(m map[string]int, n int) []int {
+	fmt.Println("tick")
+	for k := range m {
+		_ = k
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		defer release()
+		out = append(out, i)
+	}
+	return out
+}
+
+func release() {}
+
+// cool is annotated and clean: preallocated, no fmt, no map ranges.
+//
+//xvolt:hotpath fixture clean hot path
+func cool(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// MustHot is listed in HotpathRequired but carries no annotation.
+func MustHot() {}
+
+// free is unannotated: the hot-path rules do not apply here.
+func free(m map[string]int) {
+	fmt.Println(len(m))
+	for k := range m {
+		_ = k
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture for interprocedural detrand and maporder: every source is
+// laundered behind a cross-package helper call that the intraprocedural
+// analyzers provably miss (the NoCallGraph companion test asserts zero
+// findings on this exact file).
+package interproc
+
+import (
+	"io"
+	"sort"
+
+	"fixture/interprocdep"
+)
+
+// badClock reaches the wall clock two hops away.
+func badClock() int64 {
+	return interprocdep.JitterDeep()
+}
+
+// badRand reaches the global rand source one hop away.
+func badRand() int {
+	return interprocdep.Draw(10)
+}
+
+// badStdout emits one stdout record per key, in map order.
+func badStdout(m map[string]int) {
+	for k := range m {
+		interprocdep.LogRow(k)
+	}
+}
+
+// badConduit streams one record per key into w, in map order.
+func badConduit(w io.Writer, m map[string]int) {
+	for k := range m {
+		interprocdep.EmitRow(w, k)
+	}
+}
+
+// goodRender collects self-contained renderings and sorts them: the
+// helper writes only its own local buffer, so no order is baked in.
+func goodRender(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, interprocdep.Render(k))
+	}
+	sort.Strings(out)
+	return out
+}

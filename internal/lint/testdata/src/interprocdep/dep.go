@@ -1,0 +1,37 @@
+// Fixture dependency for the interprocedural layer: helpers that
+// launder nondeterminism and ordered writes behind innocent-looking
+// calls. The old intraprocedural detrand/maporder see nothing here.
+package interprocdep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Jitter launders a wall-clock read behind a plain name.
+func Jitter() int64 { return time.Now().UnixNano() }
+
+// JitterDeep adds a hop so witness chains have depth.
+func JitterDeep() int64 { return Jitter() + 1 }
+
+// Draw launders a global-rand draw.
+func Draw(n int) int { return rand.Intn(n) }
+
+// EmitRow streams one ordered record into the caller's writer — an
+// escaping conduit write.
+func EmitRow(w io.Writer, k string) { fmt.Fprintln(w, k) }
+
+// LogRow prints one record to stdout.
+func LogRow(k string) { fmt.Println(k) }
+
+// Render fills a function-local builder and returns it: no escaping
+// write, so callers in map ranges may sort the results themselves.
+func Render(k string) string {
+	var b strings.Builder
+	b.WriteString(k)
+	b.WriteString("!")
+	return b.String()
+}

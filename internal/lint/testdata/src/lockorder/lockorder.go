@@ -1,0 +1,39 @@
+// Fixture for lockorder: one path locks A then B, another takes A while
+// holding B through a helper — the interprocedural inversion.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// forward acquires A then B — the canonical order.
+func forward() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// reversed acquires B, then takes A through a helper while B is held.
+func reversed() {
+	muB.Lock()
+	defer muB.Unlock()
+	lockA()
+}
+
+// lockA takes A on behalf of callers.
+func lockA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+// serial takes the locks one after another with no overlap: no edge.
+func serial() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}

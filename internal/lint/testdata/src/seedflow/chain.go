@@ -1,0 +1,22 @@
+// Depth-3 wrapper chain, declared outermost-first so settling it needs a
+// true fixpoint: the old fixed two-sweep fact export provably missed w3
+// (TestSeedflowTwoSweepProvablyMisses holds the proof).
+package seedflow
+
+import "math/rand"
+
+// BadChain passes a literal into the deepest wrapper.
+func BadChain() *rand.Rand {
+	return w3(99)
+}
+
+// GoodChain passes a seed through the whole chain.
+func GoodChain(seed int64) *rand.Rand {
+	return w3(seed)
+}
+
+func w3(s3 int64) *rand.Rand { return w2(s3) }
+
+func w2(s2 int64) *rand.Rand { return w1(s2) }
+
+func w1(s1 int64) *rand.Rand { return rand.New(rand.NewSource(s1)) }

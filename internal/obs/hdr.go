@@ -122,6 +122,8 @@ func (h *HDR) bucketIndex(v float64) int {
 
 // Observe records one sample. NaN is ignored; negative values clamp to
 // the first bucket. Nil-safe, lock-free.
+//
+//xvolt:hotpath recorded on every run; must stay allocation-free
 func (h *HDR) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return

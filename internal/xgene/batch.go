@@ -122,6 +122,8 @@ type CellResult struct {
 // board. st carries the ladder's mutable rail state; after a cell with
 // Effects.SC the caller must apply st.ResetAfterCrash() (the watchdog
 // reboot) before sampling the next cell.
+//
+//xvolt:hotpath per-cell sampling kernel; one call per (benchmark, core, voltage, run)
 func SampleCell(rng *rand.Rand, bs BatchState, st LadderState, margins silicon.Margins, v units.MilliVolts) CellResult {
 	effects := silicon.SampleRunProtected(rng, margins, v, bs.Model, bs.Prot)
 	if soc := bs.Chip.SampleSoC(rng, st.SoC); !soc.Clean() {
