@@ -37,6 +37,7 @@ type options struct {
 	boards      int
 	seed        int64
 	workers     int
+	shards      int
 	runsPerPoll int
 	interval    time.Duration
 	polls       int
@@ -52,7 +53,8 @@ func main() {
 	flag.StringVar(&opts.traceOut, "trace-out", "", "stream finished spans as JSONL to this file ('-' for stdout)")
 	flag.IntVar(&opts.boards, "boards", 16, "fleet size")
 	flag.Int64Var(&opts.seed, "seed", 1, "master fleet seed")
-	flag.IntVar(&opts.workers, "workers", 4, "poller worker pool size (does not affect results)")
+	flag.IntVar(&opts.workers, "workers", 4, "poller worker pool size per shard (does not affect results)")
+	flag.IntVar(&opts.shards, "shards", 1, "shard managers the fleet is split across (does not affect results)")
 	flag.IntVar(&opts.runsPerPoll, "runs-per-poll", 2, "benchmark runs sampled per health poll")
 	flag.DurationVar(&opts.interval, "interval", time.Second, "mean poll interval on the virtual clock")
 	flag.IntVar(&opts.polls, "polls", 0, "with -dump: total polls to run before dumping")
@@ -75,9 +77,20 @@ func (o options) fleetConfig() fleet.Config {
 		Boards:       o.boards,
 		Seed:         o.seed,
 		Workers:      o.workers,
+		Shards:       o.shards,
 		RunsPerPoll:  o.runsPerPoll,
 		BaseInterval: o.interval,
 	}
+}
+
+// newFleet builds the configured fleet: the single manager for one
+// shard, the sharded manager otherwise. Both are byte-identical in
+// every observable artifact.
+func newFleet(cfg fleet.Config) (fleet.Fleet, error) {
+	if cfg.Shards > 1 {
+		return fleet.NewSharded(cfg)
+	}
+	return fleet.New(cfg)
 }
 
 func run(ctx context.Context, opts options, out io.Writer) error {
@@ -88,7 +101,7 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		return dumpFleet(opts.fleetConfig(), opts.polls, out)
 	}
 
-	m, err := fleet.New(opts.fleetConfig())
+	m, err := newFleet(opts.fleetConfig())
 	if err != nil {
 		return err
 	}
@@ -130,8 +143,8 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 
 	go pollLoop(ctx, m, engine, opts.chunk, opts.tick)
 
-	log.Printf("fleet of %d boards on %s (seed %d, %d workers)",
-		opts.boards, opts.addr, opts.seed, opts.workers)
+	log.Printf("fleet of %d boards on %s (seed %d, %d shards × %d workers)",
+		opts.boards, opts.addr, opts.seed, opts.shards, opts.workers)
 	return server.ListenAndServe(ctx, opts.addr, srv.Handler(), server.DefaultDrainTimeout)
 }
 
@@ -152,7 +165,7 @@ func traceWriter(path string) (io.Writer, func(), error) {
 // context ends. Pacing only chooses when chunks run; the poll outcomes
 // themselves live entirely on the fleet's seeded virtual clock. Alert
 // rules are evaluated after every chunk, on the fleet's virtual clock.
-func pollLoop(ctx context.Context, m *fleet.Manager, engine *obs.AlertEngine, chunk int, tick time.Duration) {
+func pollLoop(ctx context.Context, m fleet.Fleet, engine *obs.AlertEngine, chunk int, tick time.Duration) {
 	if chunk <= 0 {
 		chunk = 32
 	}
@@ -174,7 +187,7 @@ func pollLoop(ctx context.Context, m *fleet.Manager, engine *obs.AlertEngine, ch
 // Tracing and alerting are attached exactly as in daemon mode — the dump
 // is the proof that neither perturbs the poll outcomes.
 func dumpFleet(cfg fleet.Config, polls int, w io.Writer) error {
-	m, err := fleet.New(cfg)
+	m, err := newFleet(cfg)
 	if err != nil {
 		return err
 	}

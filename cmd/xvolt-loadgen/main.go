@@ -29,28 +29,32 @@ import (
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8090", "base URL of the daemon under load")
 	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
-	duration := flag.Duration("duration", 2*time.Second, "run length")
+	duration := flag.Duration("duration", 2*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", 0, "drive load this long before measuring (primes client ETag/generation caches; steady-state numbers)")
 	mix := flag.String("mix", "", "endpoint mix as name=path=weight,... (default: fleet read mix)")
 	seed := flag.Int64("seed", 1, "master seed for the per-client request-mix PRNGs")
 	report := flag.String("report", "", "write the full JSON report to this file ('-' for stdout)")
 	check := flag.Bool("check", false, "exit 1 if any transport error or 5xx response was seen")
+	revalidate := flag.Bool("revalidate", true, "echo generation ETags as If-None-Match and poll fleet deltas via ?since=<generation> (dashboard revalidation pattern)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *url, *clients, *duration, *mix, *seed, *report, *check); err != nil {
+	if err := run(ctx, *url, *clients, *duration, *warmup, *mix, *seed, *report, *check, *revalidate); err != nil {
 		fmt.Fprintln(os.Stderr, "xvolt-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, url string, clients int, duration time.Duration, mix string, seed int64, reportPath string, check bool) error {
+func run(ctx context.Context, url string, clients int, duration, warmup time.Duration, mix string, seed int64, reportPath string, check, revalidate bool) error {
 	opts := loadgen.Options{
-		BaseURL:  url,
-		Clients:  clients,
-		Duration: duration,
-		Seed:     seed,
+		BaseURL:    url,
+		Clients:    clients,
+		Duration:   duration,
+		Warmup:     warmup,
+		Seed:       seed,
+		Revalidate: revalidate,
 	}
 	if mix != "" {
 		targets, err := loadgen.ParseMix(mix)

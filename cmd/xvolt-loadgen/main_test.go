@@ -22,7 +22,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 	report := filepath.Join(t.TempDir(), "report.json")
 	err := run(context.Background(), ts.URL, 2, 100*time.Millisecond,
-		"all=/=1", 7, report, true)
+		25*time.Millisecond, "all=/=1", 7, report, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +48,14 @@ func TestRunCheckFailsOn5xx(t *testing.T) {
 		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer ts.Close()
-	err := run(context.Background(), ts.URL, 1, 50*time.Millisecond, "x=/=1", 1, "", true)
+	err := run(context.Background(), ts.URL, 1, 50*time.Millisecond, 0, "x=/=1", 1, "", true, false)
 	if err == nil {
 		t.Fatal("check passed against a 5xx-only server")
 	}
 }
 
 func TestRunBadMix(t *testing.T) {
-	if err := run(context.Background(), "http://127.0.0.1:1", 1, time.Millisecond, "nonsense", 1, "", false); err == nil {
+	if err := run(context.Background(), "http://127.0.0.1:1", 1, time.Millisecond, 0, "nonsense", 1, "", false, false); err == nil {
 		t.Fatal("bad mix accepted")
 	}
 }

@@ -19,3 +19,42 @@ func BenchmarkFleetPoll(b *testing.B) {
 	b.ResetTimer()
 	m.Run(b.N)
 }
+
+// BenchmarkFleetPollSharded measures the same committed-poll throughput
+// through the sharded path: heap-merged schedule draw, per-shard worker
+// pools, and the global-order merge commit. One op is one committed poll.
+func BenchmarkFleetPollSharded(b *testing.B) {
+	cfg := Config{Seed: 1, StoreCap: 1 << 16, Shards: 4}
+	m, err := NewSharded(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(64) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(b.N)
+}
+
+// BenchmarkFleetSnapshotDelta measures the delta snapshot encoder at
+// steady state: each op commits one poll (dirtying one board) and
+// re-encodes the /api/fleet document, so an op's encode cost is one
+// segment marshal plus the stitch — O(dirty), not O(fleet).
+func BenchmarkFleetSnapshotDelta(b *testing.B) {
+	cfg := Config{Seed: 1, StoreCap: 1 << 16, Boards: 64}
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(64)
+	if _, _, err := m.BoardsJSON(); err != nil {
+		b.Fatal(err) // prime the segment arena with the full encode
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(1)
+		if _, _, err := m.BoardsJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

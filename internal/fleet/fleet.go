@@ -44,9 +44,14 @@ type Config struct {
 	// Seed is the master seed; every per-board stream derives from it
 	// through core.CampaignSeed.
 	Seed int64
-	// Workers bounds the poller worker pool (default 4). Results are
-	// independent of the worker count.
+	// Workers bounds the poller worker pool (default 4); a sharded
+	// manager runs Workers workers per shard. Results are independent
+	// of the worker count.
 	Workers int
+	// Shards partitions the fleet into disjoint board ranges for
+	// ShardedManager (default 1; clamped to Boards). The single Manager
+	// ignores it. Results are independent of the shard count.
+	Shards int
 	// RunsPerPoll is how many benchmark runs one poll samples (default 2).
 	RunsPerPoll int
 	// ConfirmRuns is the bisection confirmation count used to
@@ -86,6 +91,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Boards {
+		c.Shards = c.Boards
 	}
 	if c.RunsPerPoll <= 0 {
 		c.RunsPerPoll = 2
@@ -364,16 +375,49 @@ func (b *board) poll(due time.Duration, cfg *Config) pollOutcome {
 	return o
 }
 
-// Manager owns the fleet: boards, schedule, event store, transition log
-// and telemetry. Run drives polls; the HTTP layer reads snapshots.
-type Manager struct {
+// Fleet is the surface a fleet manager exposes to the daemons and the
+// HTTP layer. Manager (the single-set executable spec) and
+// ShardedManager (the shard-per-worker fast path) both implement it and
+// are byte-identical in every observable artifact, which the
+// determinism tests pin.
+type Fleet interface {
+	Run(polls int)
+	Generation() uint64
+	Boards() []BoardStatus
+	Board(id string) (BoardStatus, bool)
+	BoardsJSON() (uint64, []byte, error)
+	BoardsDeltaJSON(since uint64) (uint64, []byte, error)
+	Health() HealthSummary
+	Store() *Store
+	Transitions() []Transition
+	WriteTransitions(w io.Writer) error
+	Polled() uint64
+	Now() time.Duration
+	SetMetrics(r *obs.Registry)
+	SetTracer(t *trace.Tracer)
+}
+
+var (
+	_ Fleet = (*Manager)(nil)
+	_ Fleet = (*ShardedManager)(nil)
+)
+
+// fleetState is the committed, observable half of a fleet manager: the
+// boards, event store, status table, transition log, virtual clock,
+// generation counter and delta-snapshot encoder. Manager and
+// ShardedManager embed it; both mutate it only at commit time under mu,
+// in global schedule order, which is why their artifacts are
+// byte-identical.
+type fleetState struct {
 	cfg    Config
 	boards []*board
+	byID   map[string]int // board id → global index (ids are immutable)
 
 	mu          sync.Mutex
 	store       *Store
 	clock       time.Duration // committed virtual time (store clock source)
 	status      []BoardStatus
+	changed     []uint64 // generation at which each board's status last committed
 	transitions []Transition
 	tseq        uint64
 	polled      uint64
@@ -391,82 +435,143 @@ type Manager struct {
 	// Boards/Health/Transitions snapshots.
 	gen atomic.Uint64
 
+	// enc caches the serialized /api/fleet document per generation,
+	// re-marshaling only dirty board segments (see snapshot.go).
+	enc snapshotEncoder
+
+	// dirtyGens/dirtyIdx are the per-generation dirty log: a ring of the
+	// board indices each of the last dirtyLogGens generations committed,
+	// so delta readers resolve "changed since S" without a fleet scan.
+	dirtyGens []uint64
+	dirtyIdx  [][]int
+
+	// stateCounts/savingsSum are the fleet-wide aggregates, maintained
+	// incrementally at commit time so Health() and the gauges never walk
+	// the fleet — at 100k boards a per-generation walk under mu is the
+	// difference between flat and falling QPS.
+	stateCounts [numStates]int
+	savingsSum  float64
+
 	runMu sync.Mutex // serializes Run calls
+}
+
+// Manager owns the fleet as one in-process board set: boards, schedule,
+// event store, transition log and telemetry. Run drives polls; the HTTP
+// layer reads snapshots. It is the executable specification that
+// ShardedManager is pinned against.
+type Manager struct {
+	fleetState
 }
 
 // maxTransitions bounds the retained transition log.
 const maxTransitions = 8192
 
-// New builds the fleet: fabricates each board's die from a seed derived
-// off the master seed, characterizes its safe floor by bisection (the
-// fast §2.2 protocol), and programs the initial guardband operating
-// point. The returned manager has committed one UndervoltApplied event
-// per board at virtual time zero.
-func New(cfg Config) (*Manager, error) {
-	cfg = cfg.withDefaults()
-	suite := workload.PrimarySuite()
-	m := &Manager{
-		cfg:   cfg,
-		store: NewStore(cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge),
+// boardID names board i; the format is part of the determinism contract
+// (dump lines and JSON snapshots key on it).
+func boardID(i int) string { return fmt.Sprintf("board-%02d", i) }
+
+// initState wires the store and clock hooks of a fresh fleet state.
+func (st *fleetState) initState(cfg Config) {
+	st.cfg = cfg
+	st.store = NewStore(cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge)
+	st.store.SetClock(func() time.Duration { return st.clock })
+	st.dirtyGens = make([]uint64, dirtyLogGens)
+	st.dirtyIdx = make([][]int, dirtyLogGens)
+}
+
+// buildBoard fabricates board i's die from a seed derived off the master
+// seed, characterizes its safe floor by bisection (the fast §2.2
+// protocol), and programs the initial guardband operating point. It
+// depends only on (cfg, i) — never on which manager or shard owns the
+// board — so a sharded fleet builds byte-identical boards to the single
+// manager.
+func buildBoard(cfg *Config, suite []*workload.Spec, i int) (*board, error) {
+	b := &board{
+		id:     boardID(i),
+		index:  i,
+		corner: cfg.Corners[i%len(cfg.Corners)],
+		spec:   suite[i%len(suite)],
+		coreID: i % silicon.NumCores,
 	}
-	m.store.SetClock(func() time.Duration { return m.clock })
+	fabSeed := core.CampaignSeed(cfg.Seed, b.id, "fabrication", b.corner.String(), b.index)
+	b.machine = xgene.New(silicon.NewChip(b.corner, fabSeed))
+	b.dog = watchdog.New(b.machine, 2)
+	runSeed := core.CampaignSeed(cfg.Seed, b.id, b.spec.Name, b.spec.Input, b.coreID)
+	b.rng = rand.New(rand.NewSource(runSeed))
+	intervalSeed := core.CampaignSeed(cfg.Seed, b.id, "poll-interval", "", b.index)
+	b.ivalRng = rand.New(rand.NewSource(intervalSeed))
 
-	for i := 0; i < cfg.Boards; i++ {
-		b := &board{
-			id:     fmt.Sprintf("board-%02d", i),
-			index:  i,
-			corner: cfg.Corners[i%len(cfg.Corners)],
-			spec:   suite[i%len(suite)],
-			coreID: i % silicon.NumCores,
-		}
-		fabSeed := core.CampaignSeed(cfg.Seed, b.id, "fabrication", b.corner.String(), b.index)
-		b.machine = xgene.New(silicon.NewChip(b.corner, fabSeed))
-		b.dog = watchdog.New(b.machine, 2)
-		runSeed := core.CampaignSeed(cfg.Seed, b.id, b.spec.Name, b.spec.Input, b.coreID)
-		b.rng = rand.New(rand.NewSource(runSeed))
-		intervalSeed := core.CampaignSeed(cfg.Seed, b.id, "poll-interval", "", b.index)
-		b.ivalRng = rand.New(rand.NewSource(intervalSeed))
-
-		if err := m.characterize(b); err != nil {
-			return nil, fmt.Errorf("fleet: %s: %w", b.id, err)
-		}
-		b.margins = b.machine.Assess(b.coreID, b.spec, units.RegimeOf(units.MaxFrequency))
-		b.gb = newGuardband(cfg.Guardband, b.floor)
-		b.applyOperatingPoint()
-		b.nextDue = b.nextInterval(&cfg)
-		m.boards = append(m.boards, b)
+	if err := characterize(cfg, b); err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", b.id, err)
 	}
+	b.margins = b.machine.Assess(b.coreID, b.spec, units.RegimeOf(units.MaxFrequency))
+	b.gb = newGuardband(cfg.Guardband, b.floor)
+	b.applyOperatingPoint()
+	b.nextDue = b.nextInterval(cfg)
+	return b, nil
+}
 
-	// Commit the initial operating points at virtual time zero, in board
-	// order — the store's first Boards entries.
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.clock = 0
-	for _, b := range m.boards {
-		m.store.Append(Event{
+// commitInitial indexes the built boards and commits their initial
+// operating points at virtual time zero, in board order — the store's
+// first Boards entries. Generation 1 is the snapshot readers' first key.
+func (st *fleetState) commitInitial() {
+	st.byID = make(map[string]int, len(st.boards))
+	for i, b := range st.boards {
+		st.byID[b.id] = i
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.clock = 0
+	st.status = make([]BoardStatus, 0, len(st.boards))
+	st.changed = make([]uint64, len(st.boards))
+	for i, b := range st.boards {
+		st.store.Append(Event{
 			Board: b.id, Kind: UndervoltApplied, MV: int(b.voltage()),
 			Msg: fmt.Sprintf("floor %v + margin %v", b.floor, b.gb.marginMV()),
 		})
-		m.m.events.With(UndervoltApplied.String()).Inc()
-		m.status = append(m.status, b.status(0))
+		st.m.events.With(UndervoltApplied.String()).Inc()
+		s := b.status(0)
+		st.status = append(st.status, s)
+		st.changed[i] = 1
+		st.logDirtyLocked(1, i)
+		if s.State >= 0 && s.State < numStates {
+			st.stateCounts[s.State]++
+		}
+		st.savingsSum += s.Savings
 	}
-	m.gen.Store(1)
+	st.gen.Store(1)
+}
+
+// New builds the single-manager fleet.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	suite := workload.PrimarySuite()
+	m := &Manager{}
+	m.initState(cfg)
+	for i := 0; i < cfg.Boards; i++ {
+		b, err := buildBoard(&m.cfg, suite, i)
+		if err != nil {
+			return nil, err
+		}
+		m.boards = append(m.boards, b)
+	}
+	m.commitInitial()
 	return m, nil
 }
 
 // Generation returns the fleet's snapshot generation. It changes exactly
 // when a Run commit changes the observable snapshots, so readers may
 // serve cached serializations while it is unchanged.
-func (m *Manager) Generation() uint64 { return m.gen.Load() }
+func (st *fleetState) Generation() uint64 { return st.gen.Load() }
 
 // characterize finds a board's safe floor with the fast bisection
 // protocol on its own derived seed.
-func (m *Manager) characterize(b *board) error {
+func characterize(cfg *Config, b *board) error {
 	fw := core.New(b.machine)
 	ccfg := core.DefaultConfig([]*workload.Spec{b.spec}, []int{b.coreID})
-	characterizeSeed := core.CampaignSeed(m.cfg.Seed, b.id, "characterize", b.spec.ID(), b.coreID)
+	characterizeSeed := core.CampaignSeed(cfg.Seed, b.id, "characterize", b.spec.ID(), b.coreID)
 	ccfg.Seed = characterizeSeed
-	res, err := fw.FindVminFast(b.spec, b.coreID, ccfg, m.cfg.ConfirmRuns)
+	res, err := fw.FindVminFast(b.spec, b.coreID, ccfg, cfg.ConfirmRuns)
 	if err != nil {
 		return err
 	}
@@ -549,92 +654,104 @@ func (m *Manager) Run(polls int) {
 	close(workCh)
 	wg.Wait()
 
+	gen := m.gen.Load() + 1
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for si := range outcomes {
-		m.commitLocked(&outcomes[si])
+		m.commitLocked(&outcomes[si], gen)
 		m.traceOutcomeLocked(&outcomes[si])
 	}
 	m.publishGaugesLocked()
-	m.gen.Add(1)
+	m.gen.Store(gen)
 }
 
 // commitLocked folds one poll outcome into the store, transition log,
 // status table and counters, advancing the virtual clock to the poll's
-// due time (which stamps the appended events).
-func (m *Manager) commitLocked(o *pollOutcome) {
-	m.clock = o.due
-	m.vclock.Store(int64(o.due))
+// due time (which stamps the appended events). gen is the generation
+// the enclosing Run is committing; it marks the board dirty for the
+// delta-snapshot encoder.
+func (st *fleetState) commitLocked(o *pollOutcome, gen uint64) {
+	st.clock = o.due
+	st.vclock.Store(int64(o.due))
 	for _, e := range o.events {
-		m.store.Append(e)
-		m.m.events.With(e.Kind.String()).Inc()
+		st.store.Append(e)
+		st.m.events.With(e.Kind.String()).Inc()
 	}
 	if t := o.transition; t != nil {
-		m.tseq++
-		t.Seq = m.tseq
+		st.tseq++
+		t.Seq = st.tseq
 		t.At = o.due
-		m.transitions = append(m.transitions, *t)
-		if len(m.transitions) > maxTransitions {
-			m.transitions = m.transitions[len(m.transitions)-maxTransitions:]
+		st.transitions = append(st.transitions, *t)
+		if len(st.transitions) > maxTransitions {
+			st.transitions = st.transitions[len(st.transitions)-maxTransitions:]
 		}
-		m.m.transitions.With(t.To.String()).Inc()
+		st.m.transitions.With(t.To.String()).Inc()
 	}
-	m.status[o.board] = o.status
-	m.polled++
-	m.m.polls.Inc()
-	m.m.runs.Add(float64(o.runs))
+	if old := &st.status[o.board]; old.State >= 0 && old.State < numStates {
+		st.stateCounts[old.State]--
+	}
+	st.savingsSum -= st.status[o.board].Savings
+	st.status[o.board] = o.status
+	if o.status.State >= 0 && o.status.State < numStates {
+		st.stateCounts[o.status.State]++
+	}
+	st.savingsSum += o.status.Savings
+	st.changed[o.board] = gen
+	st.logDirtyLocked(gen, o.board)
+	st.polled++
+	st.m.polls.Inc()
+	st.m.runs.Add(float64(o.runs))
 	if o.rebooted {
-		m.m.reboots.Inc()
+		st.m.reboots.Inc()
 	}
 }
 
 // Store returns the fleet event store.
-func (m *Manager) Store() *Store { return m.store }
+func (st *fleetState) Store() *Store { return st.store }
 
 // Boards returns a snapshot of every board's latest committed status.
-func (m *Manager) Boards() []BoardStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]BoardStatus(nil), m.status...)
+func (st *fleetState) Boards() []BoardStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]BoardStatus(nil), st.status...)
 }
 
 // Board returns one board's latest committed status by id.
-func (m *Manager) Board(id string) (BoardStatus, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, s := range m.status {
-		if s.ID == id {
-			return s, true
-		}
+func (st *fleetState) Board(id string) (BoardStatus, bool) {
+	i, ok := st.byID[id]
+	if !ok {
+		return BoardStatus{}, false
 	}
-	return BoardStatus{}, false
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status[i], true
 }
 
 // Transitions returns a copy of the retained health-transition log.
-func (m *Manager) Transitions() []Transition {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]Transition(nil), m.transitions...)
+func (st *fleetState) Transitions() []Transition {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]Transition(nil), st.transitions...)
 }
 
 // WriteTransitions dumps the transition log one per line — the second
 // byte-comparable artifact of the determinism contract.
-func (m *Manager) WriteTransitions(w io.Writer) error {
-	return writeTransitions(w, m.Transitions())
+func (st *fleetState) WriteTransitions(w io.Writer) error {
+	return writeTransitions(w, st.Transitions())
 }
 
 // Polled reports the total committed poll count.
-func (m *Manager) Polled() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.polled
+func (st *fleetState) Polled() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.polled
 }
 
 // Now returns the fleet's committed virtual time.
-func (m *Manager) Now() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock
+func (st *fleetState) Now() time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.clock
 }
 
 // StateCount is one health state's board population.
@@ -656,28 +773,23 @@ type HealthSummary struct {
 	VirtualNow    time.Duration `json:"virtual_now"`
 }
 
-// Health aggregates the fleet's current state.
-func (m *Manager) Health() HealthSummary {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var counts [numStates]int
-	var savings float64
-	for _, s := range m.status {
-		if s.State >= 0 && s.State < numStates {
-			counts[s.State]++
-		}
-		savings += s.Savings
-	}
+// Health aggregates the fleet's current state from the incrementally
+// maintained commit-time tallies — O(states), not O(fleet).
+func (st *fleetState) Health() HealthSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	counts := st.stateCounts
+	savings := st.savingsSum
 	h := HealthSummary{
-		Boards:        len(m.status),
-		Polls:         m.polled,
-		Events:        m.store.Len(),
-		DroppedEvents: m.store.Dropped(),
-		Transitions:   len(m.transitions),
-		VirtualNow:    m.clock,
+		Boards:        len(st.status),
+		Polls:         st.polled,
+		Events:        st.store.Len(),
+		DroppedEvents: st.store.Dropped(),
+		Transitions:   len(st.transitions),
+		VirtualNow:    st.clock,
 	}
-	for _, st := range States {
-		h.States = append(h.States, StateCount{State: st, Boards: counts[st]})
+	for _, state := range States {
+		h.States = append(h.States, StateCount{State: state, Boards: counts[state]})
 	}
 	switch {
 	case counts[Unhealthy] > 0:
@@ -687,8 +799,8 @@ func (m *Manager) Health() HealthSummary {
 	default:
 		h.Status = "ok"
 	}
-	if len(m.status) > 0 {
-		h.MeanSavings = savings / float64(len(m.status))
+	if len(st.status) > 0 {
+		h.MeanSavings = savings / float64(len(st.status))
 	}
 	return h
 }

@@ -8,6 +8,12 @@ import (
 	"xvolt/internal/obs"
 )
 
+// perBoardGaugeLimit caps the per-board gauge label space: above this
+// fleet size the board-labeled gauges are suppressed (a 100k-board fleet
+// would mint 200k series per scrape), leaving the aggregate and
+// per-shard instruments as the telemetry surface.
+const perBoardGaugeLimit = 128
+
 // fleetMetrics are the manager's instruments; all nil (inert) until
 // SetMetrics attaches a registry.
 type fleetMetrics struct {
@@ -22,12 +28,16 @@ type fleetMetrics struct {
 	savingsMean *obs.Gauge      // mean fractional power savings vs nominal
 	boardCount  *obs.Gauge      // fleet size (denominator for ratio alerts)
 	pollSeconds *obs.HDR        // wall time of one board poll (worker-side)
+	dirtyBoards *obs.Gauge      // boards re-encoded in the last snapshot generation
+	shardClock  *obs.GaugeVec   // shard → committed virtual clock (seconds)
+	shardPolls  *obs.GaugeVec   // shard → committed polls
+	shardBoards *obs.GaugeVec   // shard → boards owned
 }
 
 // SetMetrics registers the fleet's telemetry on r. The per-state gauges
 // are pre-seeded for every health state so a scrape always exposes the
 // full (bounded) label space. Nil registry leaves the fleet unmetered.
-func (m *Manager) SetMetrics(r *obs.Registry) {
+func (st *fleetState) SetMetrics(r *obs.Registry) {
 	fm := fleetMetrics{
 		polls: r.Counter("xvolt_fleet_polls_total",
 			"Board polls executed across the fleet."),
@@ -51,33 +61,42 @@ func (m *Manager) SetMetrics(r *obs.Registry) {
 			"Number of boards the fleet manages."),
 		pollSeconds: r.HDR("xvolt_fleet_poll_seconds",
 			"Wall-clock duration of one board health poll.", obs.HDROpts{}),
+		dirtyBoards: r.Gauge("xvolt_fleet_snapshot_dirty_boards",
+			"Boards whose snapshot segment was re-encoded last generation."),
+		shardClock: r.GaugeVec("xvolt_fleet_shard_clock_seconds",
+			"Committed virtual clock per shard.", "shard"),
+		shardPolls: r.GaugeVec("xvolt_fleet_shard_polls",
+			"Committed polls per shard.", "shard"),
+		shardBoards: r.GaugeVec("xvolt_fleet_shard_boards",
+			"Boards owned by each shard.", "shard"),
 	}
-	for _, st := range States {
-		fm.stateBoards.With(st.String())
+	for _, state := range States {
+		fm.stateBoards.With(state.String())
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.m = fm
-	m.publishGaugesLocked()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m = fm
+	st.publishGaugesLocked()
 }
 
-// publishGaugesLocked refreshes every gauge from current board state.
-func (m *Manager) publishGaugesLocked() {
-	var counts [numStates]int
-	var savings float64
-	for _, b := range m.boards {
-		if b.health.state >= 0 && b.health.state < numStates {
-			counts[b.health.state]++
+// publishGaugesLocked refreshes every gauge from the commit-time
+// aggregates (stateCounts/savingsSum), so it costs O(states) per
+// generation, not O(fleet) — at 100k boards the old walk burned the
+// CPU four times a second under mu. Per-board gauges still walk the
+// fleet, but only at or below perBoardGaugeLimit boards, which keeps
+// both the walk and the scrape cardinality bounded.
+func (st *fleetState) publishGaugesLocked() {
+	if len(st.boards) <= perBoardGaugeLimit {
+		for _, b := range st.boards {
+			st.m.boardMV.With(b.id).Set(float64(b.voltage()))
+			st.m.boardMargin.With(b.id).Set(float64(b.gb.marginMV()))
 		}
-		m.m.boardMV.With(b.id).Set(float64(b.voltage()))
-		m.m.boardMargin.With(b.id).Set(float64(b.gb.marginMV()))
-		savings += b.savings()
 	}
-	for _, st := range States {
-		m.m.stateBoards.With(st.String()).Set(float64(counts[st]))
+	for _, state := range States {
+		st.m.stateBoards.With(state.String()).Set(float64(st.stateCounts[state]))
 	}
-	m.m.boardCount.Set(float64(len(m.boards)))
-	if len(m.boards) > 0 {
-		m.m.savingsMean.Set(savings / float64(len(m.boards)))
+	st.m.boardCount.Set(float64(len(st.boards)))
+	if len(st.boards) > 0 {
+		st.m.savingsMean.Set(st.savingsSum / float64(len(st.boards)))
 	}
 }

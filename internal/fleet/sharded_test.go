@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"xvolt/internal/obs"
+)
+
+// dumpFleet renders the two byte-comparable artifacts of any fleet.
+func dumpFleet(t *testing.T, f Fleet) (events, transitions string) {
+	t.Helper()
+	var ev, tr strings.Builder
+	if err := f.Store().WriteText(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteTransitions(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return ev.String(), tr.String()
+}
+
+func newTestSharded(t *testing.T, cfg Config) *ShardedManager {
+	t.Helper()
+	m, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedMatchesManager pins the tentpole invariant: the sharded
+// fleet is byte-identical to the single manager — event store bytes,
+// transition log, status table and serialized snapshot — at every shard
+// and worker count.
+func TestShardedMatchesManager(t *testing.T) {
+	const polls = 120
+	base := newTestManager(t, testConfig(11))
+	base.Run(polls)
+	wantEv, wantTr := dump(t, base)
+	wantGen, wantBody, err := base.BoardsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinceMid := wantGen / 2
+	_, wantDelta, err := base.BoardsDeltaJSON(sinceMid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 4} {
+			cfg := testConfig(11)
+			cfg.Shards = shards
+			cfg.Workers = workers
+			m := newTestSharded(t, cfg)
+			m.Run(polls)
+
+			ev, tr := dumpFleet(t, m)
+			if ev != wantEv {
+				t.Errorf("shards=%d workers=%d: event store differs from single manager", shards, workers)
+			}
+			if tr != wantTr {
+				t.Errorf("shards=%d workers=%d: transition log differs from single manager", shards, workers)
+			}
+			gen, body, err := m.BoardsJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != wantGen {
+				t.Errorf("shards=%d workers=%d: generation %d, single manager %d", shards, workers, gen, wantGen)
+			}
+			if string(body) != string(wantBody) {
+				t.Errorf("shards=%d workers=%d: snapshot body differs from single manager", shards, workers)
+			}
+			if _, delta, err := m.BoardsDeltaJSON(sinceMid); err != nil {
+				t.Fatal(err)
+			} else if string(delta) != string(wantDelta) {
+				t.Errorf("shards=%d workers=%d: delta snapshot differs from single manager", shards, workers)
+			}
+		}
+	}
+}
+
+func TestShardedChunkingInvariance(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.Shards = 3
+	mWhole := newTestSharded(t, cfg)
+	mWhole.Run(90)
+
+	mChunked := newTestSharded(t, cfg)
+	mChunked.Run(17)
+	mChunked.Run(40)
+	mChunked.Run(33)
+
+	ev1, tr1 := dumpFleet(t, mWhole)
+	ev2, tr2 := dumpFleet(t, mChunked)
+	if ev1 != ev2 {
+		t.Error("sharded Run(90) and Run(17)+Run(40)+Run(33) diverge")
+	}
+	if tr1 != tr2 {
+		t.Error("sharded transition log depends on Run chunking")
+	}
+	if mWhole.Polled() != 90 || mChunked.Polled() != 90 {
+		t.Errorf("polled = %d / %d, want 90", mWhole.Polled(), mChunked.Polled())
+	}
+}
+
+// TestShardedStoreReplayPerShard replays the shared event store and
+// checks that each shard's aggregate health population matches its
+// boards' committed states — the store alone reconstructs per-shard
+// state, which is what a durable backend will lean on.
+func TestShardedStoreReplayPerShard(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.Shards = 3
+	m := newTestSharded(t, cfg)
+	m.Run(120)
+
+	// Replay: all boards start healthy; each health-changed event moves
+	// its board.
+	state := map[string]State{}
+	for _, s := range m.Boards() {
+		state[s.ID] = Healthy
+	}
+	for _, e := range m.Store().Events() {
+		if e.Kind == HealthChanged {
+			state[e.Board] = e.State
+		}
+	}
+
+	stats := m.Shards()
+	if len(stats) != 3 {
+		t.Fatalf("shards = %d, want 3", len(stats))
+	}
+	boards := m.Boards()
+	lo := 0
+	var totalPolls uint64
+	for _, ss := range stats {
+		var replayed, committed [numStates]int
+		for i := lo; i < lo+ss.Boards; i++ {
+			replayed[state[boards[i].ID]]++
+			committed[boards[i].State]++
+		}
+		if replayed != committed {
+			t.Errorf("shard %d: replayed states %v, committed %v", ss.Shard, replayed, committed)
+		}
+		if ss.Clock > m.Now() {
+			t.Errorf("shard %d clock %v ahead of fleet clock %v", ss.Shard, ss.Clock, m.Now())
+		}
+		totalPolls += ss.Polls
+		lo += ss.Boards
+	}
+	if lo != len(boards) {
+		t.Errorf("shard board counts sum to %d, want %d", lo, len(boards))
+	}
+	if totalPolls != m.Polled() {
+		t.Errorf("shard polls sum to %d, want %d", totalPolls, m.Polled())
+	}
+}
+
+// TestShardedMetrics checks the shard-labeled gauges agree with the
+// committed shard stats and that per-board gauges vanish above the
+// cardinality limit.
+func TestShardedMetrics(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.Shards = 3
+	m := newTestSharded(t, cfg)
+	r := obs.NewRegistry()
+	m.SetMetrics(r)
+	m.Run(60)
+
+	snap := r.Snapshot()
+	for _, ss := range m.Shards() {
+		id := strconv.Itoa(ss.Shard)
+		if got := snap["xvolt_fleet_shard_polls{shard=\""+id+"\"}"]; got != float64(ss.Polls) {
+			t.Errorf("shard %d polls gauge = %v, want %d", ss.Shard, got, ss.Polls)
+		}
+		if got := snap["xvolt_fleet_shard_boards{shard=\""+id+"\"}"]; got != float64(ss.Boards) {
+			t.Errorf("shard %d boards gauge = %v, want %d", ss.Shard, got, ss.Boards)
+		}
+		if got := snap["xvolt_fleet_shard_clock_seconds{shard=\""+id+"\"}"]; got != ss.Clock.Seconds() {
+			t.Errorf("shard %d clock gauge = %v, want %v", ss.Shard, got, ss.Clock.Seconds())
+		}
+	}
+}
+
+// TestShardPartition checks clamping and the remainder spread.
+func TestShardPartition(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Boards = 7
+	cfg.Shards = 3
+	m := newTestSharded(t, cfg)
+	stats := m.Shards()
+	sizes := []int{stats[0].Boards, stats[1].Boards, stats[2].Boards}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Errorf("partition of 7 boards over 3 shards = %v, want [3 2 2]", sizes)
+	}
+
+	// More shards than boards clamps to one board per shard.
+	cfg2 := testConfig(1)
+	cfg2.Boards = 2
+	cfg2.Shards = 8
+	m2 := newTestSharded(t, cfg2)
+	if got := len(m2.Shards()); got != 2 {
+		t.Errorf("shards clamped to %d, want 2", got)
+	}
+}

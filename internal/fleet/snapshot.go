@@ -1,0 +1,278 @@
+// Delta snapshot encoding for /api/fleet. The serialized fleet document
+// is a pure function of the status table, which changes only at commit
+// time; the encoder caches one serialized segment per board and, on a
+// generation miss, re-marshals only the boards whose status committed
+// since the cached generation, then restitches the document around the
+// untouched segments. Steady-state encode cost is O(dirty boards), not
+// O(fleet).
+//
+// On top of the full document, BoardsDeltaJSON serves wire-level deltas:
+// a client that saw generation S asks for "everything since S" and gets
+// a document containing only the boards that committed after S, resolved
+// through the per-generation dirty log — no full-fleet scan, no full-
+// fleet transfer. This is what keeps /api/fleet flat in board count.
+//
+// The stitched bytes are pinned byte-identical to a json.Encoder with
+// SetIndent("", " ") writing struct{ Boards []BoardStatus } — the format
+// /api/fleet has served since PR 5 — by snapshot_test.go. The delta
+// document is pinned the same way against struct{ Generation, Since;
+// Boards }.
+
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Stitch constants reproducing json.Encoder SetIndent("", " ") framing
+// around per-board segments produced by json.MarshalIndent(s, "  ", " ").
+const (
+	bodyOpen  = "{\n \"boards\": [\n  "
+	segSep    = ",\n  "
+	bodyClose = "\n ]\n}\n"
+	emptyBody = "{\n \"boards\": []\n}\n"
+
+	deltaOpen     = "{\n \"generation\": "
+	deltaSince    = ",\n \"since\": "
+	deltaBoards   = ",\n \"boards\": [\n  "
+	deltaNoBoards = ",\n \"boards\": []\n}\n"
+)
+
+// dirtyLogGens is how many generations of dirty-board lists the fleet
+// retains. Delta readers further behind than this fall back to a full
+// delta (every board); with the daemon committing one generation per
+// pacing tick, 256 generations is about a minute of client staleness.
+const dirtyLogGens = 256
+
+// snapshotEncoder holds the per-board segment arena and the stitched
+// document for one generation. The segment table is reused across
+// generations; bodies are freshly allocated because in-flight HTTP
+// responses may still reference the previous one.
+//
+// Lock order: enc.mu is taken strictly before fleetState.mu, never the
+// reverse.
+type snapshotEncoder struct {
+	mu      sync.Mutex
+	segGen  uint64   // generation the segment arena reflects (0 = never)
+	bodyGen uint64   // generation the stitched full document reflects
+	segs    [][]byte // per-board serialized segments
+	body    []byte   // stitched full document for bodyGen
+	encoded int      // segments re-marshaled at the last refresh
+}
+
+// BoardsJSON returns the fleet generation and the serialized /api/fleet
+// document for it, serving from cache when the generation is unchanged
+// and re-encoding only dirty boards otherwise. The returned slice is
+// shared and must not be mutated.
+func (st *fleetState) BoardsJSON() (uint64, []byte, error) {
+	st.enc.mu.Lock()
+	defer st.enc.mu.Unlock()
+
+	st.mu.Lock()
+	gen := st.gen.Load()
+	if st.enc.bodyGen == gen && st.enc.body != nil {
+		st.mu.Unlock()
+		return gen, st.enc.body, nil
+	}
+	st.mu.Unlock()
+
+	gen, err := st.refreshSegments()
+	if err != nil {
+		return gen, nil, err
+	}
+	st.enc.stitch(gen)
+	return gen, st.enc.body, nil
+}
+
+// BoardsDeltaJSON returns the fleet generation and a delta document
+// holding only the boards whose status committed after generation
+// `since` — the wire-level complement of the segment arena. A nil body
+// means the client is already current (HTTP layers answer 304). Readers
+// further behind than the dirty log receive every board, which is still
+// a correct (if maximal) delta. The returned buffer is caller-owned.
+func (st *fleetState) BoardsDeltaJSON(since uint64) (uint64, []byte, error) {
+	st.enc.mu.Lock()
+	defer st.enc.mu.Unlock()
+
+	st.mu.Lock()
+	gen := st.gen.Load()
+	st.mu.Unlock()
+	if gen <= since {
+		return gen, nil, nil
+	}
+
+	gen, err := st.refreshSegments()
+	if err != nil {
+		return gen, nil, err
+	}
+	st.mu.Lock()
+	delta, ok := st.dirtySinceLocked(since, gen)
+	if !ok {
+		delta = make([]int, len(st.status))
+		for i := range delta {
+			delta[i] = i
+		}
+	}
+	st.mu.Unlock()
+	return gen, st.enc.appendDelta(gen, since, delta), nil
+}
+
+// refreshSegments brings the segment arena up to the current generation,
+// re-marshaling only boards dirtied since the arena's generation, and
+// returns the generation the arena now reflects. Callers hold enc.mu.
+func (st *fleetState) refreshSegments() (uint64, error) {
+	st.mu.Lock()
+	gen := st.gen.Load()
+	if st.enc.segs != nil && st.enc.segGen == gen {
+		st.mu.Unlock()
+		return gen, nil
+	}
+	if st.enc.segs == nil {
+		st.enc.segs = make([][]byte, len(st.status))
+	}
+	dirty, ok := st.dirtySinceLocked(st.enc.segGen, gen)
+	if !ok {
+		dirty = make([]int, len(st.status))
+		for i := range dirty {
+			dirty[i] = i
+		}
+	}
+	// Copy dirty statuses out so marshaling runs outside st.mu.
+	statuses := make([]BoardStatus, len(dirty))
+	for k, i := range dirty {
+		statuses[k] = st.status[i]
+	}
+	dirtyGauge := st.m.dirtyBoards
+	st.mu.Unlock()
+
+	if err := st.enc.encode(gen, dirty, statuses); err != nil {
+		return gen, err
+	}
+	dirtyGauge.Set(float64(len(dirty)))
+	return gen, nil
+}
+
+// dirtySinceLocked resolves "which boards committed after generation
+// since" through the per-generation dirty log: the union of the logged
+// index lists for (since, gen], sorted and deduplicated. The second
+// return is false when the log no longer covers the span (reader too far
+// behind); callers fall back to every board. Cost is O(committed polls
+// in the span), never O(fleet). Callers hold st.mu.
+func (st *fleetState) dirtySinceLocked(since, gen uint64) ([]int, bool) {
+	if gen <= since {
+		return nil, true
+	}
+	if gen-since >= dirtyLogGens {
+		return nil, false
+	}
+	n := 0
+	for g := since + 1; g <= gen; g++ {
+		slot := g % dirtyLogGens
+		if st.dirtyGens[slot] != g {
+			return nil, false // evicted under the reader
+		}
+		n += len(st.dirtyIdx[slot])
+	}
+	out := make([]int, 0, n)
+	for g := since + 1; g <= gen; g++ {
+		out = append(out, st.dirtyIdx[g%dirtyLogGens]...)
+	}
+	sort.Ints(out)
+	k := 0
+	for i, v := range out {
+		if i == 0 || v != out[k-1] {
+			out[k] = v
+			k++
+		}
+	}
+	return out[:k], true
+}
+
+// logDirtyLocked records board i as dirtied by generation gen in the
+// dirty log ring, truncating (and reusing) the slot's slice on first
+// touch per generation. Callers hold st.mu.
+func (st *fleetState) logDirtyLocked(gen uint64, i int) {
+	slot := gen % dirtyLogGens
+	if st.dirtyGens[slot] != gen {
+		st.dirtyGens[slot] = gen
+		st.dirtyIdx[slot] = st.dirtyIdx[slot][:0]
+	}
+	st.dirtyIdx[slot] = append(st.dirtyIdx[slot], i)
+}
+
+// encode re-marshals the dirty segments into the arena. Callers hold
+// enc.mu.
+//
+//xvolt:hotpath delta snapshot encode; every /api/fleet generation miss crosses this
+func (e *snapshotEncoder) encode(gen uint64, dirty []int, statuses []BoardStatus) error {
+	for k, i := range dirty {
+		seg, err := json.MarshalIndent(&statuses[k], "  ", " ")
+		if err != nil {
+			return err
+		}
+		e.segs[i] = seg
+	}
+	e.segGen = gen
+	e.encoded = len(dirty)
+	return nil
+}
+
+// stitch rebuilds the full document from the segment arena. Callers hold
+// enc.mu with the arena already refreshed to gen.
+func (e *snapshotEncoder) stitch(gen uint64) {
+	size := len(bodyOpen) + len(bodyClose)
+	for _, seg := range e.segs {
+		size += len(seg) + len(segSep)
+	}
+	if size < len(emptyBody) {
+		size = len(emptyBody)
+	}
+	body := make([]byte, 0, size)
+	if len(e.segs) == 0 {
+		body = append(body, emptyBody...)
+	} else {
+		for i, seg := range e.segs {
+			if i == 0 {
+				body = append(body, bodyOpen...)
+			} else {
+				body = append(body, segSep...)
+			}
+			body = append(body, seg...)
+		}
+		body = append(body, bodyClose...)
+	}
+	e.body = body
+	e.bodyGen = gen
+}
+
+// appendDelta stitches the delta document for the given board indices
+// around the arena's segments. Callers hold enc.mu with the arena
+// refreshed to gen; the returned buffer is freshly allocated (deltas are
+// per-(since, gen) and not cached).
+func (e *snapshotEncoder) appendDelta(gen, since uint64, idx []int) []byte {
+	size := len(deltaOpen) + len(deltaSince) + len(deltaNoBoards) + 2*20
+	for _, i := range idx {
+		size += len(e.segs[i]) + len(segSep)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, deltaOpen...)
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, deltaSince...)
+	b = strconv.AppendUint(b, since, 10)
+	if len(idx) == 0 {
+		b = append(b, deltaNoBoards...)
+		return b
+	}
+	b = append(b, deltaBoards...)
+	for k, i := range idx {
+		if k > 0 {
+			b = append(b, segSep...)
+		}
+		b = append(b, e.segs[i]...)
+	}
+	b = append(b, bodyClose...)
+	return b
+}

@@ -19,20 +19,20 @@ import (
 // SetTracer attaches (or, with nil, detaches) a tracer and points its
 // clock at the fleet's committed virtual time. Safe to call while the
 // fleet is running.
-func (m *Manager) SetTracer(t *trace.Tracer) {
-	t.SetClock(func() time.Duration { return time.Duration(m.vclock.Load()) })
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tracer = t
+func (st *fleetState) SetTracer(t *trace.Tracer) {
+	t.SetClock(func() time.Duration { return time.Duration(st.vclock.Load()) })
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tracer = t
 }
 
 // traceSchedule emits one span per Run batch describing the slots drawn
 // off the virtual schedule. Called between takeSlots and the worker
 // pool, so the span order is deterministic.
-func (m *Manager) traceSchedule(slots []pollSlot) {
-	m.mu.Lock()
-	t := m.tracer
-	m.mu.Unlock()
+func (st *fleetState) traceSchedule(slots []pollSlot) {
+	st.mu.Lock()
+	t := st.tracer
+	st.mu.Unlock()
 	if t == nil || len(slots) == 0 {
 		return
 	}
@@ -47,12 +47,12 @@ func (m *Manager) traceSchedule(slots []pollSlot) {
 // Runs under the manager lock right after commitLocked, so the virtual
 // clock already reads the poll's due time and trace/span ids are
 // allocated in global commit order.
-func (m *Manager) traceOutcomeLocked(o *pollOutcome) {
-	t := m.tracer
+func (st *fleetState) traceOutcomeLocked(o *pollOutcome) {
+	t := st.tracer
 	if t == nil {
 		return
 	}
-	b := m.boards[o.board]
+	b := st.boards[o.board]
 	ctx, root := t.StartSpan(context.Background(), "fleet.poll")
 	root.SetAttr("board", b.id)
 	root.SetAttr("due", formatAt(o.due))

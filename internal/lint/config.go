@@ -103,6 +103,9 @@ func DefaultConfig() Config {
 			"(*xvolt/internal/core.LadderRunner).ExecuteCampaigns",
 			"(*xvolt/internal/core.Framework).Execute",
 			"(*xvolt/internal/fleet.Manager).Run",
+			"(*xvolt/internal/fleet.ShardedManager).Run",
+			"(*xvolt/internal/fleet.fleetState).BoardsJSON",
+			"(*xvolt/internal/fleet.fleetState).BoardsDeltaJSON",
 			"(*xvolt/internal/fleet.Store).Append",
 		},
 		DetflowAllow: nil,
@@ -112,6 +115,7 @@ func DefaultConfig() Config {
 			"(*xvolt/internal/core.LadderRunner).runLadder",
 			"xvolt/internal/xgene.SampleCell",
 			"(*xvolt/internal/fleet.board).poll",
+			"(*xvolt/internal/fleet.snapshotEncoder).encode",
 			"(*xvolt/internal/obs.HDR).Observe",
 		},
 	}

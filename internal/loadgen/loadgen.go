@@ -82,11 +82,26 @@ func ParseMix(s string) ([]Target, error) {
 type Options struct {
 	BaseURL  string        // daemon base URL, e.g. http://127.0.0.1:8080
 	Clients  int           // concurrent closed-loop clients (default 4)
-	Duration time.Duration // run length (default 2s)
-	Seed     int64         // master seed for the per-client mix PRNGs
-	Targets  []Target      // endpoint mix (default DefaultMix)
-	HDR      obs.HDROpts   // latency histogram layout (default obs defaults)
-	Client   *http.Client  // HTTP client (default http.DefaultClient)
+	Duration time.Duration // measured run length (default 2s)
+	// Warmup runs the load for this long before measurement starts:
+	// clients drive requests and maintain their ETag/generation caches,
+	// but nothing is tallied. The report then reflects steady state —
+	// without it, each client's first full-fleet transfer (O(fleet)
+	// bytes) dominates short runs against large fleets.
+	Warmup  time.Duration
+	Seed    int64        // master seed for the per-client mix PRNGs
+	Targets []Target     // endpoint mix (default DefaultMix)
+	HDR     obs.HDROpts  // latency histogram layout (default obs defaults)
+	Client  *http.Client // HTTP client (default http.DefaultClient)
+	// Revalidate makes each client echo the last ETag it saw per target
+	// as If-None-Match, and poll fleet deltas: after a response carries
+	// X-Fleet-Generation, subsequent requests to that target add
+	// ?since=<generation>, so a changed fleet transfers only the boards
+	// that committed since the client's last poll — the dashboard
+	// polling pattern the fleet's generation-keyed caches and delta
+	// snapshots are built for. 304s and delta 200s are tallied
+	// separately.
+	Revalidate bool
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +130,8 @@ type TargetReport struct {
 	Errors   uint64         `json:"errors"` // transport errors (no response)
 	Codes    map[string]int `json:"codes"`  // "200" → count
 	Code5xx  uint64         `json:"code_5xx"`
+	Code304  uint64         `json:"code_304"`   // cache revalidation hits
+	Deltas   uint64         `json:"delta_200s"` // 200s served as ?since= deltas
 	QPS      float64        `json:"qps"`
 	MeanSec  float64        `json:"mean_sec"`
 	MinSec   float64        `json:"min_sec"`
@@ -127,17 +144,20 @@ type TargetReport struct {
 
 // Report is one run's full result.
 type Report struct {
-	BaseURL  string         `json:"base_url"`
-	Clients  int            `json:"clients"`
-	Seed     int64          `json:"seed"`
-	WallSec  float64        `json:"wall_sec"`
-	Requests uint64         `json:"requests"`
-	Errors   uint64         `json:"errors"`
-	Code5xx  uint64         `json:"code_5xx"`
-	QPS      float64        `json:"qps"`
-	RelErr   float64        `json:"quantile_rel_err"` // histogram error bound
-	Targets  []TargetReport `json:"targets"`
-	Total    TargetReport   `json:"total"`
+	BaseURL   string         `json:"base_url"`
+	Clients   int            `json:"clients"`
+	Seed      int64          `json:"seed"`
+	WarmupSec float64        `json:"warmup_sec"` // unmeasured ramp preceding WallSec
+	WallSec   float64        `json:"wall_sec"`
+	Requests  uint64         `json:"requests"`
+	Errors    uint64         `json:"errors"`
+	Code5xx   uint64         `json:"code_5xx"`
+	Code304   uint64         `json:"code_304"`
+	Deltas    uint64         `json:"delta_200s"`
+	QPS       float64        `json:"qps"`
+	RelErr    float64        `json:"quantile_rel_err"` // histogram error bound
+	Targets   []TargetReport `json:"targets"`
+	Total     TargetReport   `json:"total"`
 }
 
 // Bad reports whether the run saw transport errors or 5xx responses —
@@ -146,12 +166,12 @@ func (r *Report) Bad() bool { return r.Errors > 0 || r.Code5xx > 0 }
 
 // WriteTable renders the QPS × latency table.
 func (r *Report) WriteTable(w io.Writer) {
-	fmt.Fprintf(w, "%-8s %9s %7s %6s %9s %9s %9s %9s %9s\n",
-		"target", "requests", "qps", "err", "p50", "p90", "p99", "p999", "max")
+	fmt.Fprintf(w, "%-8s %9s %7s %6s %8s %8s %9s %9s %9s %9s %9s\n",
+		"target", "requests", "qps", "err", "304", "delta", "p50", "p90", "p99", "p999", "max")
 	row := func(t *TargetReport) {
 		bad := t.Errors + t.Code5xx
-		fmt.Fprintf(w, "%-8s %9d %7.1f %6d %9s %9s %9s %9s %9s\n",
-			t.Name, t.Requests, t.QPS, bad,
+		fmt.Fprintf(w, "%-8s %9d %7.1f %6d %8d %8d %9s %9s %9s %9s %9s\n",
+			t.Name, t.Requests, t.QPS, bad, t.Code304, t.Deltas,
 			fmtSec(t.P50Sec), fmtSec(t.P90Sec), fmtSec(t.P99Sec),
 			fmtSec(t.P999Sec), fmtSec(t.MaxSec))
 	}
@@ -171,11 +191,13 @@ func fmtSec(s float64) string {
 // clientTally is one client's private slice of the result — merged under
 // a lock only after the client finishes, so the hot path is contention-free.
 type clientTally struct {
-	hists  []*obs.HDR // per target
-	reqs   []uint64
-	errs   []uint64
-	codes  []map[string]int
-	code5s []uint64
+	hists   []*obs.HDR // per target
+	reqs    []uint64
+	errs    []uint64
+	codes   []map[string]int
+	code5s  []uint64
+	code304 []uint64
+	deltas  []uint64
 }
 
 // Run drives the load and assembles the report. The run ends at the
@@ -193,17 +215,23 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		totalWeight += t.Weight
 	}
 
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
 	start := now()
-	deadline := start.Add(o.Duration)
+	recordFrom := start.Add(o.Warmup)
+	deadline := recordFrom.Add(o.Duration)
 	tallies := make([]*clientTally, o.Clients)
 	var wg sync.WaitGroup
 	for ci := 0; ci < o.Clients; ci++ {
 		ct := &clientTally{
-			hists:  make([]*obs.HDR, len(o.Targets)),
-			reqs:   make([]uint64, len(o.Targets)),
-			errs:   make([]uint64, len(o.Targets)),
-			codes:  make([]map[string]int, len(o.Targets)),
-			code5s: make([]uint64, len(o.Targets)),
+			hists:   make([]*obs.HDR, len(o.Targets)),
+			reqs:    make([]uint64, len(o.Targets)),
+			errs:    make([]uint64, len(o.Targets)),
+			codes:   make([]map[string]int, len(o.Targets)),
+			code5s:  make([]uint64, len(o.Targets)),
+			code304: make([]uint64, len(o.Targets)),
+			deltas:  make([]uint64, len(o.Targets)),
 		}
 		for ti := range o.Targets {
 			ct.hists[ti] = obs.NewHDR(o.HDR)
@@ -214,32 +242,77 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			etags := make([]string, len(o.Targets)) // last ETag per target
+			gens := make([]string, len(o.Targets))  // last X-Fleet-Generation per target
 			for now().Before(deadline) && ctx.Err() == nil {
 				ti := pickTarget(rng, o.Targets, totalWeight)
-				ct.reqs[ti]++
-				t0 := now()
-				resp, err := o.Client.Get(o.BaseURL + o.Targets[ti].Path)
+				url := o.BaseURL + o.Targets[ti].Path
+				delta := o.Revalidate && gens[ti] != ""
+				if delta {
+					sep := "?"
+					if strings.Contains(o.Targets[ti].Path, "?") {
+						sep = "&"
+					}
+					url += sep + "since=" + gens[ti]
+				}
+				req, err := http.NewRequest(http.MethodGet, url, nil)
 				if err != nil {
-					ct.errs[ti]++
+					if !now().Before(recordFrom) {
+						ct.reqs[ti]++
+						ct.errs[ti]++
+					}
+					continue
+				}
+				if o.Revalidate && etags[ti] != "" {
+					req.Header.Set("If-None-Match", etags[ti])
+				}
+				t0 := now()
+				resp, err := o.Client.Do(req)
+				if err != nil {
+					if !now().Before(recordFrom) {
+						ct.reqs[ti]++
+						ct.errs[ti]++
+					}
 					continue
 				}
 				// Drain so keep-alive connections are reused; latency is
 				// time-to-last-byte, which is what a dashboard feels.
 				_, _ = io.Copy(io.Discard, resp.Body)
 				_ = resp.Body.Close() // read-only body, fully drained
-				ct.hists[ti].Observe(now().Sub(t0).Seconds())
+				done := now()
+				if tag := resp.Header.Get("ETag"); tag != "" {
+					etags[ti] = tag
+				}
+				if g := resp.Header.Get("X-Fleet-Generation"); g != "" {
+					gens[ti] = g
+				}
+				if done.Before(recordFrom) {
+					continue // warmup: caches updated, nothing tallied
+				}
+				ct.reqs[ti]++
+				ct.hists[ti].Observe(done.Sub(t0).Seconds())
 				ct.codes[ti][fmt.Sprintf("%d", resp.StatusCode)]++
 				if resp.StatusCode >= 500 {
 					ct.code5s[ti]++
+				}
+				if resp.StatusCode == http.StatusNotModified {
+					ct.code304[ti]++
+				}
+				if delta && resp.StatusCode == http.StatusOK {
+					ct.deltas[ti]++
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	wall := now().Sub(start).Seconds()
+	wall := now().Sub(recordFrom).Seconds()
+	if wall < 0 {
+		wall = 0 // cancelled inside the warmup window
+	}
 
 	rep := &Report{
-		BaseURL: o.BaseURL, Clients: o.Clients, Seed: o.Seed, WallSec: wall,
+		BaseURL: o.BaseURL, Clients: o.Clients, Seed: o.Seed,
+		WarmupSec: o.Warmup.Seconds(), WallSec: wall,
 		RelErr: o.HDR.RelativeError(),
 	}
 	var totalSnap obs.HDRSnapshot
@@ -251,6 +324,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			tr.Requests += ct.reqs[ti]
 			tr.Errors += ct.errs[ti]
 			tr.Code5xx += ct.code5s[ti]
+			tr.Code304 += ct.code304[ti]
+			tr.Deltas += ct.deltas[ti]
 			for code, n := range ct.codes[ti] {
 				tr.Codes[code] += n
 				totalCodes[code] += n
@@ -266,10 +341,13 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rep.Requests += tr.Requests
 		rep.Errors += tr.Errors
 		rep.Code5xx += tr.Code5xx
+		rep.Code304 += tr.Code304
+		rep.Deltas += tr.Deltas
 		rep.Targets = append(rep.Targets, tr)
 	}
 	rep.Total = TargetReport{Name: "total", Codes: totalCodes,
-		Requests: rep.Requests, Errors: rep.Errors, Code5xx: rep.Code5xx}
+		Requests: rep.Requests, Errors: rep.Errors, Code5xx: rep.Code5xx,
+		Code304: rep.Code304, Deltas: rep.Deltas}
 	fillQuantiles(&rep.Total, totalSnap, wall)
 	rep.QPS = rep.Total.QPS
 	sort.Slice(rep.Targets, func(i, j int) bool { return rep.Targets[i].Name < rep.Targets[j].Name })

@@ -104,6 +104,108 @@ func TestRunAgainstTestServer(t *testing.T) {
 	}
 }
 
+// TestRunWarmupDiscardsRamp: requests completed during the warmup
+// window drive the server (and prime client caches) but are not tallied;
+// the measured wall clock excludes the warmup.
+func TestRunWarmupDiscardsRamp(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("ETag", "\"w\"")
+		if r.Header.Get("If-None-Match") == "\"w\"" {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:    ts.URL,
+		Clients:    2,
+		Warmup:     150 * time.Millisecond,
+		Duration:   150 * time.Millisecond,
+		Targets:    []Target{{Name: "x", Path: "/", Weight: 1}},
+		Revalidate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no measured requests after warmup")
+	}
+	if rep.Requests >= uint64(hits.Load()) {
+		t.Errorf("tallied %d requests but server saw %d — warmup not discarded", rep.Requests, hits.Load())
+	}
+	if rep.WarmupSec != 0.15 {
+		t.Errorf("WarmupSec = %v", rep.WarmupSec)
+	}
+	if rep.WallSec > 0.3 {
+		t.Errorf("WallSec = %v includes the warmup window", rep.WallSec)
+	}
+	// Warmed caches mean the first *measured* requests already revalidate.
+	if rep.Code304 != rep.Requests {
+		t.Errorf("measured 304s = %d of %d — warmup did not prime ETags", rep.Code304, rep.Requests)
+	}
+}
+
+// TestRunDeltaPolling: once a response advertises X-Fleet-Generation,
+// revalidating clients poll with ?since=<generation> and the 200s they
+// get back are tallied as deltas.
+func TestRunDeltaPolling(t *testing.T) {
+	var gen atomic.Int64
+	gen.Store(1)
+	var sinceHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g := gen.Add(1) // every request sees a new generation: no 304s
+		w.Header().Set("ETag", fmt.Sprintf("\"fleet-%d\"", g))
+		w.Header().Set("X-Fleet-Generation", fmt.Sprintf("%d", g))
+		if since := r.URL.Query().Get("since"); since != "" {
+			sinceHits.Add(1)
+			fmt.Fprintf(w, "{\"generation\": %d, \"since\": %s, \"boards\": []}\n", g, since)
+			return
+		}
+		fmt.Fprintln(w, "{\"boards\": []}")
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:    ts.URL,
+		Clients:    2,
+		Duration:   200 * time.Millisecond,
+		Targets:    []Target{{Name: "fleet", Path: "/api/fleet", Weight: 1}},
+		Revalidate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 3 {
+		t.Fatalf("only %d requests completed", rep.Requests)
+	}
+	// Every request after each client's first carries since=.
+	if want := rep.Requests - 2; sinceHits.Load() != int64(want) {
+		t.Errorf("server saw %d since= requests, want %d", sinceHits.Load(), want)
+	}
+	if rep.Deltas != uint64(sinceHits.Load()) {
+		t.Errorf("report tallied %d deltas, server saw %d", rep.Deltas, sinceHits.Load())
+	}
+
+	// With revalidation off, since= never appears.
+	sinceHits.Store(0)
+	rep2, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+		Targets:  []Target{{Name: "fleet", Path: "/api/fleet", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sinceHits.Load() != 0 || rep2.Deltas != 0 {
+		t.Errorf("revalidate=false still sent since=: hits=%d deltas=%d", sinceHits.Load(), rep2.Deltas)
+	}
+}
+
 func TestRunCounts5xx(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "boom", http.StatusInternalServerError)

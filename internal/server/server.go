@@ -29,22 +29,47 @@ type Server struct {
 	results []*core.CampaignResult
 	weights core.Weights
 
-	fleetMgr atomic.Pointer[fleet.Manager]
-	metrics  atomic.Pointer[httpMetrics]
-	tracer   atomic.Pointer[trace.Tracer]
-	alerts   atomic.Pointer[obs.AlertEngine]
+	// fleetMu guards the attached fleet (an interface — Manager or
+	// ShardedManager — so an atomic pointer doesn't fit). Handlers take
+	// it only long enough to copy the interface out; it never nests
+	// inside another lock.
+	fleetMu sync.RWMutex
+	fleetM  fleet.Fleet
 
-	// fleetCache holds the serialized /api/fleet body for one (manager,
-	// generation) pair. Board status only changes at poll commits, which
-	// bump the manager's generation, so between commits every request is
-	// served from this buffer — and clients that echo the generation-keyed
-	// ETag get a 304 with no body at all.
+	metrics atomic.Pointer[httpMetrics]
+	tracer  atomic.Pointer[trace.Tracer]
+	alerts  atomic.Pointer[obs.AlertEngine]
+
+	// fleetCache holds the serialized /api/fleet/health body and a small
+	// ring of /api/fleet/{board}/events bodies, each keyed by (fleet,
+	// generation[, board, n]). Fleet state only changes at poll commits,
+	// which bump the fleet's generation, so between commits every request
+	// is served from these buffers — and clients that echo the
+	// generation-keyed ETag get a 304 with no body at all. (/api/fleet
+	// itself is cached inside the fleet: BoardsJSON re-encodes only dirty
+	// boards per generation.)
 	fleetCache struct {
-		mu   sync.Mutex
-		mgr  *fleet.Manager
-		gen  uint64
-		body []byte
+		mu         sync.Mutex
+		f          fleet.Fleet
+		healthGen  uint64
+		healthBody []byte
+		events     [eventsCacheSlots]eventsCacheEntry
+		evNext     int
 	}
+}
+
+// eventsCacheSlots bounds the per-board events response cache; a small
+// ring is enough because loadgen-style traffic concentrates on a few hot
+// boards per generation.
+const eventsCacheSlots = 8
+
+// eventsCacheEntry is one cached /api/fleet/{board}/events body.
+type eventsCacheEntry struct {
+	f     fleet.Fleet
+	gen   uint64
+	board string
+	n     int
+	body  []byte
 }
 
 // httpMetrics are the per-endpoint request instruments plus the registry
@@ -75,14 +100,25 @@ func New(fw *core.Framework) *Server {
 	return &Server{fw: fw, weights: core.PaperWeights}
 }
 
-// SetFleet attaches (or, with nil, detaches) a fleet manager; the
-// /api/fleet endpoints serve from it. Safe to call while serving.
-func (s *Server) SetFleet(m *fleet.Manager) {
-	s.fleetMgr.Store(m)
+// SetFleet attaches (or, with nil, detaches) a fleet — a Manager or a
+// ShardedManager; the /api/fleet endpoints serve from it. Safe to call
+// while serving.
+func (s *Server) SetFleet(m fleet.Fleet) {
+	s.fleetMu.Lock()
+	s.fleetM = m
+	s.fleetMu.Unlock()
 	s.fleetCache.mu.Lock()
-	s.fleetCache.mgr = nil
-	s.fleetCache.body = nil
+	s.fleetCache.f = nil
+	s.fleetCache.healthBody = nil
+	s.fleetCache.events = [eventsCacheSlots]eventsCacheEntry{}
 	s.fleetCache.mu.Unlock()
+}
+
+// fleet returns the attached fleet, or nil.
+func (s *Server) fleet() fleet.Fleet {
+	s.fleetMu.RLock()
+	defer s.fleetMu.RUnlock()
+	return s.fleetM
 }
 
 // SetMetrics attaches a registry: every endpoint gains request counting
@@ -206,13 +242,25 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// fleetOr404 resolves the attached fleet manager or fails the request.
-func (s *Server) fleetOr404(w http.ResponseWriter) *fleet.Manager {
-	m := s.fleetMgr.Load()
+// fleetOr404 resolves the attached fleet or fails the request.
+func (s *Server) fleetOr404(w http.ResponseWriter) fleet.Fleet {
+	m := s.fleet()
 	if m == nil {
 		http.Error(w, "no fleet attached", http.StatusNotFound)
 	}
 	return m
+}
+
+// notModified writes the generation-keyed ETag and, when the client
+// already holds the generation, answers 304 before any fleet state is
+// touched — the steady-state fast path for every fleet endpoint.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -220,44 +268,47 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	gen := m.Generation()
-	etag := fmt.Sprintf("\"fleet-%d\"", gen)
-	w.Header().Set("ETag", etag)
-	if r.Header.Get("If-None-Match") == etag {
-		w.WriteHeader(http.StatusNotModified)
+	if notModified(w, r, fmt.Sprintf("\"fleet-%d\"", m.Generation())) {
 		return
 	}
-	body, err := s.fleetBody(m, gen)
+	// ?since=<generation> asks for a delta: only the boards that
+	// committed after that generation, resolved through the fleet's
+	// dirty log — O(dirty) to serve and to transfer, which is what
+	// keeps this endpoint flat in fleet size. Clients learn the
+	// generation to resume from via X-Fleet-Generation (set on full
+	// responses too, so the first poll bootstraps the loop).
+	if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+		since, err := strconv.ParseUint(sinceStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		gen, body, err := m.BoardsDeltaJSON(since)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("ETag", fmt.Sprintf("\"fleet-%d\"", gen))
+		w.Header().Set("X-Fleet-Generation", strconv.FormatUint(gen, 10))
+		if body == nil {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(body)
+		return
+	}
+	gen, body, err := m.BoardsJSON()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// BoardsJSON may have observed a newer commit than the pre-check;
+	// re-stamp the ETag so it always matches the body served.
+	w.Header().Set("ETag", fmt.Sprintf("\"fleet-%d\"", gen))
+	w.Header().Set("X-Fleet-Generation", strconv.FormatUint(gen, 10))
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_, _ = w.Write(body)
-}
-
-// fleetBody returns the serialized board snapshot for a generation,
-// serving from the cache when the manager and generation both match. The
-// bytes are identical to what writeJSON would stream for the same
-// snapshot (same encoder, same indent).
-func (s *Server) fleetBody(m *fleet.Manager, gen uint64) ([]byte, error) {
-	s.fleetCache.mu.Lock()
-	defer s.fleetCache.mu.Unlock()
-	if s.fleetCache.mgr == m && s.fleetCache.gen == gen && s.fleetCache.body != nil {
-		return s.fleetCache.body, nil
-	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(struct {
-		Boards []fleet.BoardStatus `json:"boards"`
-	}{m.Boards()}); err != nil {
-		return nil, err
-	}
-	s.fleetCache.mgr = m
-	s.fleetCache.gen = gen
-	s.fleetCache.body = buf.Bytes()
-	return s.fleetCache.body, nil
 }
 
 func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
@@ -265,7 +316,51 @@ func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	writeJSON(w, m.Health())
+	if notModified(w, r, fmt.Sprintf("\"fleet-health-%d\"", m.Generation())) {
+		return
+	}
+	gen, body, err := s.healthBody(m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("ETag", fmt.Sprintf("\"fleet-health-%d\"", gen))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+// healthBody returns the serialized health summary for the fleet's
+// current generation, serving from the cache when the fleet and
+// generation both match — a cache hit re-walks no boards. The bytes are
+// identical to what writeJSON would stream for the same summary.
+func (s *Server) healthBody(m fleet.Fleet) (uint64, []byte, error) {
+	s.fleetCache.mu.Lock()
+	defer s.fleetCache.mu.Unlock()
+	gen := m.Generation()
+	if s.fleetCache.f == m && s.fleetCache.healthGen == gen && s.fleetCache.healthBody != nil {
+		return gen, s.fleetCache.healthBody, nil
+	}
+	// Re-read the generation after aggregating so the cache key always
+	// matches the snapshot it labels (a Run may commit in between).
+	var h fleet.HealthSummary
+	for {
+		h = m.Health()
+		if g := m.Generation(); g == gen {
+			break
+		} else {
+			gen = g
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(h); err != nil {
+		return gen, nil, err
+	}
+	s.fleetCache.f = m
+	s.fleetCache.healthGen = gen
+	s.fleetCache.healthBody = buf.Bytes()
+	return gen, s.fleetCache.healthBody, nil
 }
 
 func (s *Server) handleFleetEvents(w http.ResponseWriter, r *http.Request) {
@@ -287,11 +382,54 @@ func (s *Server) handleFleetEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	events := m.Store().EventsFor(id, n)
-	writeJSON(w, struct {
+	if notModified(w, r, fmt.Sprintf("\"fleet-ev-%d\"", m.Generation())) {
+		return
+	}
+	gen, body, err := s.eventsBody(m, id, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("ETag", fmt.Sprintf("\"fleet-ev-%d\"", gen))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+// eventsBody returns the serialized event tail for one board, serving
+// from a small (fleet, generation, board, n)-keyed ring so repeated
+// queries against hot boards don't re-walk the store between commits.
+func (s *Server) eventsBody(m fleet.Fleet, id string, n int) (uint64, []byte, error) {
+	s.fleetCache.mu.Lock()
+	defer s.fleetCache.mu.Unlock()
+	gen := m.Generation()
+	for i := range s.fleetCache.events {
+		e := &s.fleetCache.events[i]
+		if e.f == m && e.gen == gen && e.board == id && e.n == n && e.body != nil {
+			return gen, e.body, nil
+		}
+	}
+	var events []fleet.Event
+	for {
+		events = m.Store().EventsFor(id, n)
+		if g := m.Generation(); g == gen {
+			break
+		} else {
+			gen = g
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(struct {
 		Board  string        `json:"board"`
 		Events []fleet.Event `json:"events"`
-	}{id, events})
+	}{id, events}); err != nil {
+		return gen, nil, err
+	}
+	slot := &s.fleetCache.events[s.fleetCache.evNext]
+	s.fleetCache.evNext = (s.fleetCache.evNext + 1) % eventsCacheSlots
+	*slot = eventsCacheEntry{f: m, gen: gen, board: id, n: n, body: buf.Bytes()}
+	return gen, slot.body, nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -507,7 +645,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/alerts">alerts</a></li>
 <li><a href="/metrics">metrics (Prometheus)</a></li>
 </ul>`, chip, len(s.snapshot()))
-	if s.fleetMgr.Load() != nil {
+	if s.fleet() != nil {
 		fmt.Fprint(w, `
 <h2>fleet</h2>
 <ul>
