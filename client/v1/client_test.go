@@ -1,0 +1,264 @@
+package clientv1
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xvolt/internal/fleet"
+	"xvolt/internal/server"
+)
+
+// statusRecorder counts upstream response codes so tests can prove the
+// 304 path was exercised on the wire, not just absorbed client-side.
+type statusRecorder struct {
+	h    http.Handler
+	s200 atomic.Int64
+	s304 atomic.Int64
+}
+
+func (r *statusRecorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	sw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+	r.h.ServeHTTP(sw, req)
+	switch sw.code {
+	case http.StatusOK:
+		r.s200.Add(1)
+	case http.StatusNotModified:
+		r.s304.Add(1)
+	}
+}
+
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// newFleetServer stands up a real fleet behind the real server handler.
+func newFleetServer(t *testing.T) (*fleet.Manager, *statusRecorder, *httptest.Server) {
+	t.Helper()
+	m, err := fleet.New(fleet.Config{Boards: 3, Seed: 5, ConfirmRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(nil)
+	srv.SetFleet(m)
+	rec := &statusRecorder{h: srv.Handler()}
+	ts := httptest.NewServer(rec)
+	t.Cleanup(ts.Close)
+	return m, rec, ts
+}
+
+// TestDeltaResumption drives the full client conversation: bootstrap
+// snapshot, generation tracking via X-Fleet-Generation, wire deltas
+// after commits, and "already current" probes answering nil.
+func TestDeltaResumption(t *testing.T) {
+	m, _, ts := newFleetServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	boards, err := c.FleetBoards(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boards.Boards) != 3 {
+		t.Fatalf("bootstrap returned %d boards", len(boards.Boards))
+	}
+	gen := c.Generation()
+	if gen == 0 {
+		t.Fatal("client did not capture X-Fleet-Generation")
+	}
+
+	// Current probe: no commits since gen → nil delta.
+	delta, err := c.FleetDelta(ctx, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != nil {
+		t.Fatalf("delta while current = %+v, want nil", delta)
+	}
+
+	m.Run(10)
+	delta, err = c.FleetDelta(ctx, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta == nil {
+		t.Fatal("no delta after commits")
+	}
+	if delta.Since != gen || delta.Generation <= gen {
+		t.Errorf("delta stamps since=%d gen=%d, want since=%d gen>%d",
+			delta.Since, delta.Generation, gen, gen)
+	}
+	if len(delta.Boards) == 0 {
+		t.Error("delta carries no boards after 10 polls")
+	}
+	if c.Generation() != delta.Generation {
+		t.Errorf("Generation() = %d, want %d", c.Generation(), delta.Generation)
+	}
+	if d2, err := c.FleetDelta(ctx, c.Generation()); err != nil || d2 != nil {
+		t.Errorf("resumed probe = (%+v, %v), want (nil, nil)", d2, err)
+	}
+
+	h, err := c.FleetHealth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Boards != 3 || h.Polls != 10 {
+		t.Errorf("health = %d boards %d polls, want 3/10", h.Boards, h.Polls)
+	}
+
+	ev, err := c.BoardEvents(ctx, "board-00", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Board != "board-00" || len(ev.Events) == 0 {
+		t.Errorf("events = %+v, want board-00 with events", ev)
+	}
+	if _, err := c.BoardEvents(ctx, "board-99", 5); err == nil {
+		t.Error("unknown board did not error")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+			t.Errorf("unknown board error = %v, want 404 APIError", err)
+		}
+	}
+}
+
+// TestETagRevalidation proves the second identical fetch travels as a
+// bodyless 304 on the wire while the client still returns the document.
+func TestETagRevalidation(t *testing.T) {
+	_, rec, ts := newFleetServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	first, err := c.FleetHealth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.s304.Load(); got != 0 {
+		t.Fatalf("unexpected 304 before revalidation: %d", got)
+	}
+	second, err := c.FleetHealth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.s304.Load(); got != 1 {
+		t.Fatalf("revalidation did not 304 on the wire (saw %d)", got)
+	}
+	if first.Boards != second.Boards || first.Polls != second.Polls {
+		t.Errorf("cached decode diverges: %+v vs %+v", first, second)
+	}
+}
+
+// TestRetryBackoff injects 5xx failures and checks the retry schedule:
+// exponential delays through the injected sleep, success once the
+// server recovers, and no body-level retries on 4xx.
+func TestRetryBackoff(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL,
+		WithRetries(3),
+		WithBackoff(10*time.Millisecond),
+		WithSleep(func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		}))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after recovery: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("backoff schedule %v, want %v", delays, want)
+	}
+
+	// Exhaustion: a permanently failing server errors after retries.
+	calls.Store(-1000)
+	var n int
+	c2 := New(ts.URL, WithRetries(2), WithSleep(func(ctx context.Context, d time.Duration) error {
+		n++
+		return nil
+	}))
+	err := c2.Healthz(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Errorf("exhausted retries = %v, want 500 APIError", err)
+	}
+	if n != 2 {
+		t.Errorf("slept %d times, want 2", n)
+	}
+
+	// 4xx: immediate failure, no retries, no sleeps.
+	ts404 := httptest.NewServer(http.NotFoundHandler())
+	defer ts404.Close()
+	var slept bool
+	c3 := New(ts404.URL, WithSleep(func(ctx context.Context, d time.Duration) error {
+		slept = true
+		return nil
+	}))
+	if err := c3.Healthz(context.Background()); err == nil {
+		t.Error("404 did not error")
+	}
+	if slept {
+		t.Error("client retried a 4xx")
+	}
+}
+
+// TestContextCancellation: a canceled context aborts both in-flight
+// requests and backoff waits.
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	c := New(ts.URL, WithRetries(0))
+	go func() { done <- c.Healthz(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("canceled request returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request did not return")
+	}
+
+	// Cancellation during backoff: the injected sleep honors ctx.
+	ts500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts500.Close()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	c2 := New(ts500.URL, WithRetries(5), WithSleep(func(ctx context.Context, d time.Duration) error {
+		cancel2()
+		return ctx.Err()
+	}))
+	if err := c2.Healthz(ctx2); !errors.Is(err, context.Canceled) {
+		t.Errorf("backoff cancellation = %v, want context.Canceled", err)
+	}
+}

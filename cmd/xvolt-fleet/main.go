@@ -24,7 +24,9 @@ import (
 	"syscall"
 	"time"
 
+	clientv1 "xvolt/client/v1"
 	"xvolt/internal/fleet"
+	"xvolt/internal/hub"
 	"xvolt/internal/obs"
 	"xvolt/internal/server"
 	"xvolt/internal/trace"
@@ -34,6 +36,9 @@ type options struct {
 	addr        string
 	debugAddr   string
 	traceOut    string
+	storeDir    string
+	hubURL      string
+	source      string
 	boards      int
 	seed        int64
 	workers     int
@@ -51,13 +56,16 @@ func main() {
 	flag.StringVar(&opts.addr, "addr", ":8090", "listen address (daemon mode)")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "optional debug listener (pprof + runtime-sampled /metrics)")
 	flag.StringVar(&opts.traceOut, "trace-out", "", "stream finished spans as JSONL to this file ('-' for stdout)")
+	flag.StringVar(&opts.storeDir, "store-dir", "", "durable event store directory (empty: in-memory store)")
+	flag.StringVar(&opts.hubURL, "hub", "", "xvolt-hub base URL to push fleet state to (daemon mode)")
+	flag.StringVar(&opts.source, "source", "fleet", "source name this fleet reports to the hub under")
 	flag.IntVar(&opts.boards, "boards", 16, "fleet size")
 	flag.Int64Var(&opts.seed, "seed", 1, "master fleet seed")
 	flag.IntVar(&opts.workers, "workers", 4, "poller worker pool size per shard (does not affect results)")
 	flag.IntVar(&opts.shards, "shards", 1, "shard managers the fleet is split across (does not affect results)")
 	flag.IntVar(&opts.runsPerPoll, "runs-per-poll", 2, "benchmark runs sampled per health poll")
 	flag.DurationVar(&opts.interval, "interval", time.Second, "mean poll interval on the virtual clock")
-	flag.IntVar(&opts.polls, "polls", 0, "with -dump: total polls to run before dumping")
+	flag.IntVar(&opts.polls, "polls", 0, "with -dump: total polls to run before dumping; daemon mode: exit after this many polls (0 = run forever)")
 	flag.BoolVar(&opts.dump, "dump", false, "run -polls polls, dump event store and transitions to stdout, exit")
 	flag.IntVar(&opts.chunk, "chunk", 32, "polls committed per pacing tick (daemon mode)")
 	flag.DurationVar(&opts.tick, "tick", 250*time.Millisecond, "wall-clock pacing between poll chunks (daemon mode)")
@@ -80,6 +88,7 @@ func (o options) fleetConfig() fleet.Config {
 		Shards:       o.shards,
 		RunsPerPoll:  o.runsPerPoll,
 		BaseInterval: o.interval,
+		StoreDir:     o.storeDir,
 	}
 }
 
@@ -141,11 +150,26 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		log.Printf("debug listener on %s (pprof, runtime metrics)", opts.debugAddr)
 	}
 
-	go pollLoop(ctx, m, engine, opts.chunk, opts.tick)
+	var pusher *hub.Pusher
+	if opts.hubURL != "" {
+		pusher = hub.NewPusher(clientv1.New(opts.hubURL), opts.source, m)
+		log.Printf("pushing to hub %s as %q", opts.hubURL, opts.source)
+	}
+
+	// A -polls budget turns the daemon into a bounded run: serve while
+	// polling, push the final state, then drain and exit — the shape the
+	// CI hub smoke uses to get a deterministic cross-process window.
+	loopCtx, loopDone := context.WithCancel(ctx)
+	defer loopDone()
+	go pollLoop(loopCtx, m, engine, pusher, opts.chunk, opts.tick, opts.polls, loopDone)
 
 	log.Printf("fleet of %d boards on %s (seed %d, %d shards × %d workers)",
 		opts.boards, opts.addr, opts.seed, opts.shards, opts.workers)
-	return server.ListenAndServe(ctx, opts.addr, srv.Handler(), server.DefaultDrainTimeout)
+	err = server.ListenAndServe(loopCtx, opts.addr, srv.Handler(), server.DefaultDrainTimeout)
+	if cerr := m.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // traceWriter resolves -trace-out: "-" streams to stdout, anything else
@@ -162,13 +186,20 @@ func traceWriter(path string) (io.Writer, func(), error) {
 }
 
 // pollLoop drives the fleet in chunks, paced on the wall clock, until the
-// context ends. Pacing only chooses when chunks run; the poll outcomes
-// themselves live entirely on the fleet's seeded virtual clock. Alert
-// rules are evaluated after every chunk, on the fleet's virtual clock.
-func pollLoop(ctx context.Context, m fleet.Fleet, engine *obs.AlertEngine, chunk int, tick time.Duration) {
+// context ends or the poll budget is spent. Pacing only chooses when
+// chunks run; the poll outcomes themselves live entirely on the fleet's
+// seeded virtual clock. Alert rules are evaluated after every chunk, on
+// the fleet's virtual clock; with a pusher attached each chunk's changes
+// are then pushed to the hub (push failures are logged and retried
+// implicitly — the next push resends the unacknowledged tail).
+// budget > 0 bounds the total polls; after the final chunk is pushed,
+// done is called so the daemon drains and exits.
+func pollLoop(ctx context.Context, m fleet.Fleet, engine *obs.AlertEngine, pusher *hub.Pusher,
+	chunk int, tick time.Duration, budget int, done context.CancelFunc) {
 	if chunk <= 0 {
 		chunk = 32
 	}
+	remaining := budget
 	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
@@ -176,8 +207,24 @@ func pollLoop(ctx context.Context, m fleet.Fleet, engine *obs.AlertEngine, chunk
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			m.Run(chunk)
+			n := chunk
+			if budget > 0 && n > remaining {
+				n = remaining
+			}
+			m.Run(n)
 			engine.Eval()
+			if pusher != nil {
+				if _, err := pusher.Push(ctx); err != nil && ctx.Err() == nil {
+					log.Printf("hub push: %v", err)
+				}
+			}
+			if budget > 0 {
+				remaining -= n
+				if remaining <= 0 {
+					done()
+					return
+				}
+			}
 		}
 	}
 }
@@ -200,6 +247,7 @@ func dumpFleet(cfg fleet.Config, polls int, w io.Writer) error {
 	}
 	m.Run(polls)
 	engine.Eval()
+	defer func() { _ = m.Close() }()
 	if _, err := fmt.Fprintf(w, "# fleet events (%d boards, %d polls, seed %d)\n",
 		cfg.Boards, polls, cfg.Seed); err != nil {
 		return err

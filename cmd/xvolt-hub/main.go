@@ -1,0 +1,50 @@
+// Command xvolt-hub runs the aggregation tier: a daemon that many
+// xvolt-fleet daemons push their event streams and board status to
+// (POST /api/hub/ingest), merged into one global board view served on
+// the same /api/* surface a single fleet exposes.
+//
+// Usage:
+//
+//	xvolt-hub -addr :8099
+//	xvolt-fleet -addr :8090 -hub http://localhost:8099 -source rack-a
+//	xvolt-fleet -addr :8091 -hub http://localhost:8099 -source rack-b
+//
+// The hub's per-source dump (/api/hub/sources/{source}/dump) is
+// byte-identical to `xvolt-fleet -dump` on the source minus its header
+// line — the cross-process determinism contract the CI smoke step pins.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xvolt/internal/hub"
+	"xvolt/internal/obs"
+	"xvolt/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8099", "listen address")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "xvolt-hub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, addr string) error {
+	h := hub.New()
+	reg := obs.NewRegistry()
+	h.SetMetrics(reg)
+	log.Printf("hub on %s", addr)
+	return server.ListenAndServe(ctx, addr, h.Handler(reg), server.DefaultDrainTimeout)
+}

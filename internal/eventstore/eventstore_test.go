@@ -1,0 +1,361 @@
+package eventstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// genRecords fabricates a deterministic mixed workload: several boards,
+// repeated messages (dedup fodder), advancing virtual time.
+func genRecords(n int) []Record {
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		board := "board-" + strconv.Itoa(i%5)
+		kind := i % 4
+		msg := "msg-" + strconv.Itoa(i%3)
+		out = append(out, Record{
+			At:    time.Duration(i) * 100 * time.Millisecond,
+			Board: board,
+			Kind:  kind,
+			State: i % 2,
+			MV:    900 - i%7,
+			Msg:   msg,
+		})
+	}
+	return out
+}
+
+func appendAll(t *testing.T, s Store, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if _, err := s.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestMemoryDedupAndRetention(t *testing.T) {
+	m := NewMemory(4, 10*time.Second, 0)
+	base := Record{Board: "b0", Kind: 1, MV: 900, Msg: "same"}
+	for i := 0; i < 3; i++ {
+		r := base
+		r.At = time.Duration(i) * time.Second
+		res, err := m.Append(r)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if i > 0 && !res.Merged {
+			t.Errorf("append %d: want merge, got %+v", i, res)
+		}
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (deduped)", got)
+	}
+	recs := m.Records()
+	if recs[0].Count != 3 || recs[0].LastAt != 2*time.Second {
+		t.Errorf("merged record = %+v, want Count 3 LastAt 2s", recs[0])
+	}
+
+	// Different boards never merge; capacity 4 evicts the oldest.
+	for i := 0; i < 5; i++ {
+		r := Record{At: 10 * time.Second, Board: "x" + strconv.Itoa(i), Msg: "m"}
+		if _, err := m.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Len(); got != 4 {
+		t.Errorf("Len = %d, want capacity 4", got)
+	}
+	st := m.Stats()
+	if st.Evicted != 2 || st.Merges != 2 || st.Appends != 6 {
+		t.Errorf("Stats = %+v, want 6 appends, 2 merges, 2 evicted", st)
+	}
+}
+
+func TestMemoryAgeRetention(t *testing.T) {
+	m := NewMemory(100, 0, 5*time.Second)
+	for i := 0; i < 10; i++ {
+		r := Record{At: time.Duration(i) * time.Second, Board: "b", Msg: strconv.Itoa(i)}
+		if _, err := m.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := m.Records()
+	for _, r := range recs {
+		if r.At < 4*time.Second {
+			t.Errorf("record at %v survived 5s age retention (newest 9s)", r.At)
+		}
+	}
+}
+
+// TestLogMatchesMemory pins the core invariant: for the same append
+// sequence, the Log's retained state is identical to Memory's — live,
+// and again after reopening from disk, at several segment layouts.
+func TestLogMatchesMemory(t *testing.T) {
+	recs := genRecords(500)
+	layouts := []LogOptions{
+		{},                                   // one big segment
+		{SegmentBytes: 4096},                 // many segments
+		{SegmentBytes: 4096, MaxSegments: 2}, // frequent compaction
+		{Capacity: 64, SegmentBytes: 4096},   // eviction pressure
+		{RetainAge: 3 * time.Second, SegmentBytes: 4096, MaxSegments: 2},
+	}
+	for li, opts := range layouts {
+		opts.DedupWindow = 2 * time.Second
+		mem := NewMemory(opts.Capacity, opts.DedupWindow, opts.RetainAge)
+		appendAll(t, mem, recs)
+
+		dir := t.TempDir()
+		log, err := OpenLog(dir, opts)
+		if err != nil {
+			t.Fatalf("layout %d: OpenLog: %v", li, err)
+		}
+		appendAll(t, log, recs)
+
+		if !reflect.DeepEqual(mem.Records(), log.Records()) {
+			t.Fatalf("layout %d: live log state diverges from memory", li)
+		}
+		if mem.Stats() != log.Stats() {
+			t.Errorf("layout %d: stats diverge: mem %+v log %+v", li, mem.Stats(), log.Stats())
+		}
+		if err := log.Close(); err != nil {
+			t.Fatalf("layout %d: Close: %v", li, err)
+		}
+
+		reopened, err := OpenLog(dir, opts)
+		if err != nil {
+			t.Fatalf("layout %d: reopen: %v", li, err)
+		}
+		if !reflect.DeepEqual(mem.Records(), reopened.Records()) {
+			t.Fatalf("layout %d: replayed state diverges from memory", li)
+		}
+		if mem.Stats() != reopened.Stats() {
+			t.Errorf("layout %d: replayed stats diverge: mem %+v log %+v",
+				li, mem.Stats(), reopened.Stats())
+		}
+		// The reopened log must keep extending identically.
+		extra := genRecords(50)
+		for i := range extra {
+			extra[i].At += 1000 * time.Second
+		}
+		appendAll(t, mem, extra)
+		appendAll(t, reopened, extra)
+		if !reflect.DeepEqual(mem.Records(), reopened.Records()) {
+			t.Fatalf("layout %d: post-reopen appends diverge", li)
+		}
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLogCompactLeavesReplayableState(t *testing.T) {
+	opts := LogOptions{DedupWindow: time.Second}
+	dir := t.TempDir()
+	log, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(200)
+	appendAll(t, log, recs)
+	want := log.Records()
+	wantStats := log.Stats()
+	if err := log.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := log.Segments(); got != 1 {
+		t.Errorf("Segments after Compact = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(want, log.Records()) {
+		t.Fatal("Compact changed the retained state")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if !reflect.DeepEqual(want, reopened.Records()) {
+		t.Fatal("replay after Compact diverges")
+	}
+	if wantStats != reopened.Stats() {
+		t.Errorf("stats after Compact replay = %+v, want %+v", reopened.Stats(), wantStats)
+	}
+}
+
+func TestRecordsFor(t *testing.T) {
+	m := NewMemory(100, 0, 0)
+	appendAll(t, m, genRecords(50))
+	got := m.RecordsFor("board-1", 3)
+	if len(got) != 3 {
+		t.Fatalf("RecordsFor n=3 returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Error("RecordsFor not in seq order")
+		}
+	}
+	for _, r := range got {
+		if r.Board != "board-1" {
+			t.Errorf("RecordsFor leaked board %q", r.Board)
+		}
+	}
+}
+
+// TestLogTornTailTorture is the crash-recovery torture test: write N
+// events, truncate the (single) segment at every byte offset, reopen,
+// and require (a) the recovered state is exactly the journal's frame
+// prefix, and (b) a replay of the recovered file is byte-identical to
+// the recovered live state.
+func TestLogTornTailTorture(t *testing.T) {
+	const n = 40
+	opts := LogOptions{DedupWindow: 2 * time.Second}
+	recs := genRecords(n)
+
+	// Reference pass: build the pristine journal and snapshot the ring
+	// state after every frame by replaying prefixes with a fresh ring.
+	dir := t.TempDir()
+	log, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, log, recs)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	pristine, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// frameEnds[i] = offset just past frame i; stateAt maps each clean
+	// prefix end to the ring state a replay of it produces.
+	var frameEnds []int64
+	rest := pristine
+	for len(rest) > 0 {
+		payload, next, ferr := nextFrame(rest)
+		if ferr != nil {
+			t.Fatalf("pristine journal has a bad frame at %d", len(pristine)-len(rest))
+		}
+		_ = payload
+		frameEnds = append(frameEnds, int64(len(pristine)-len(next)))
+		rest = next
+	}
+	stateAt := map[int64][]Record{0: {}}
+	for _, end := range frameEnds {
+		probe := &Log{r: newRing(opts.Capacity, opts.DedupWindow, opts.RetainAge)}
+		good, terr := probe.applySegment(pristine[:end])
+		if terr != nil || good != end {
+			t.Fatalf("clean prefix %d replayed as torn (good=%d, err=%v)", end, good, terr)
+		}
+		stateAt[end] = probe.r.records()
+	}
+
+	// goodBelow(b) = largest clean frame boundary ≤ b.
+	goodBelow := func(b int64) int64 {
+		var best int64
+		for _, end := range frameEnds {
+			if end <= b && end > best {
+				best = end
+			}
+		}
+		return best
+	}
+
+	for cut := int64(0); cut <= int64(len(pristine)); cut++ {
+		tdir := t.TempDir()
+		tpath := filepath.Join(tdir, segName(1))
+		if err := os.WriteFile(tpath, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recovered, err := OpenLog(tdir, opts)
+		if err != nil {
+			t.Fatalf("cut %d: OpenLog: %v", cut, err)
+		}
+		wantEnd := goodBelow(cut)
+		want := stateAt[wantEnd]
+		got := recovered.Records()
+		if len(got) == 0 && len(want) == 0 {
+			// both empty — fine
+		} else if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cut %d: recovered %d records, want %d (prefix %d)",
+				cut, len(got), len(want), wantEnd)
+		}
+		// The truncated file must now BE the clean prefix...
+		if fi, err := os.Stat(tpath); err != nil || fi.Size() != wantEnd {
+			t.Fatalf("cut %d: file size %v after recovery, want %d", cut, fi.Size(), wantEnd)
+		}
+		// ...and appending after recovery must work and survive another
+		// replay (spot-check a few offsets to keep the test fast).
+		if cut%97 == 0 {
+			if _, err := recovered.Append(Record{At: time.Hour, Board: "post", Msg: "after-crash"}); err != nil {
+				t.Fatalf("cut %d: append after recovery: %v", cut, err)
+			}
+			after := recovered.Records()
+			if err := recovered.Close(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := OpenLog(tdir, opts)
+			if err != nil {
+				t.Fatalf("cut %d: second reopen: %v", cut, err)
+			}
+			if !reflect.DeepEqual(after, again.Records()) {
+				t.Fatalf("cut %d: post-recovery append did not replay identically", cut)
+			}
+			if err := again.Close(); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := recovered.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLogTornCompactionFallsBack: a snapshot group cut short must roll
+// the segment back to the group start, falling back to the state from
+// earlier segments.
+func TestLogTornCompactionFallsBack(t *testing.T) {
+	opts := LogOptions{SegmentBytes: 4096, MaxSegments: 2, DedupWindow: time.Second}
+	dir := t.TempDir()
+	log, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, log, genRecords(300))
+	if err := log.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := log.Records()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment after Compact, got %v (%v)", segs, err)
+	}
+	path := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the snapshot group (anywhere before its last frame).
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog on torn snapshot: %v", err)
+	}
+	defer recovered.Close()
+	if got := recovered.Len(); got != 0 {
+		t.Errorf("torn snapshot recovered %d records, want 0 (group rollback)", got)
+	}
+	_ = want
+}

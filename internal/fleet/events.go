@@ -1,10 +1,15 @@
-// Bounded fleet event store: the durable-ish record of what happened to
-// every board — undervolts applied, SDCs observed, guardbands widened,
-// boards rebooted, health transitions. It is the fleet analogue of the
-// per-board trace.Log, but typed (consumers filter by kind, not by string
-// matching), deduplicated (a board stuck in an SDC storm collapses into
-// one event with a multiplicity instead of flooding the buffer), and
-// retention-bounded both by capacity and by age.
+// Fleet event store: the typed record of what happened to every board —
+// undervolts applied, SDCs observed, guardbands widened, boards rebooted,
+// health transitions. Events are deduplicated (a board stuck in an SDC
+// storm collapses into one event with a multiplicity) and retention-
+// bounded by capacity and age.
+//
+// Since the eventstore refactor the Store here is a thin typed facade:
+// the dedup ring itself lives in internal/eventstore, pluggable between
+// the in-memory backend (NewStore) and the durable segmented log
+// (OpenStore). Both apply identical dedup/retention, so switching
+// backends never changes the retained events — the durability tests pin
+// a replayed log against an in-memory run byte for byte.
 //
 // Time is injectable: the store stamps events through its clock hook, and
 // the Manager points that hook at the fleet's virtual clock, so the store
@@ -21,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"xvolt/internal/eventstore"
 )
 
 // EventKind types a fleet event.
@@ -124,48 +131,75 @@ func formatAt(d time.Duration) string {
 	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64) + "s"
 }
 
-// dedupKey is the identity under which consecutive events collapse.
-type dedupKey struct {
-	board string
-	kind  EventKind
-	state State
-	mv    int
-	msg   string
+// recordOf converts an un-stamped fleet event into a store record; the
+// backend ignores Seq/Count/LastAt and assigns them itself.
+func recordOf(e Event, at time.Duration) eventstore.Record {
+	return eventstore.Record{
+		At:    at,
+		Board: e.Board,
+		Kind:  int(e.Kind),
+		State: int(e.State),
+		MV:    e.MV,
+		Msg:   e.Msg,
+	}
 }
 
-// Store is the bounded, deduplicating fleet event store. Construct with
-// NewStore; a nil *Store is inert.
+// eventOf converts a retained store record back into the fleet's typed
+// event.
+func eventOf(r eventstore.Record) Event {
+	return Event{
+		Seq:    r.Seq,
+		At:     r.At,
+		LastAt: r.LastAt,
+		Board:  r.Board,
+		Kind:   EventKind(r.Kind),
+		State:  State(r.State),
+		MV:     r.MV,
+		Count:  r.Count,
+		Msg:    r.Msg,
+	}
+}
+
+// Store is the fleet's typed event store: an eventstore backend plus the
+// injectable virtual clock that stamps appends. Construct with NewStore
+// (in-memory) or OpenStore (durable segmented log); a nil *Store is
+// inert.
 type Store struct {
-	mu      sync.Mutex
-	events  []Event
-	seq     uint64
-	cap     int
-	window  time.Duration // dedup window (0 disables dedup)
-	maxAge  time.Duration // age-based retention (0 disables)
-	dropped uint64
-	// now is the injectable clock (virtual fleet time). It is consulted on
-	// every Append; the Manager points it at the committed poll time so
-	// store contents never depend on the wall clock.
+	mu  sync.Mutex
+	be  eventstore.Store
 	now func() time.Duration
-	// lastByBoard indexes each board's most recent event for dedup.
-	lastByBoard map[string]int
+	err error // sticky backend append error
 }
 
-// NewStore returns a store retaining up to capacity events (default 4096
-// if capacity ≤ 0), collapsing identical consecutive per-board events
-// within the dedup window, and dropping events older than maxAge relative
-// to the newest (0 disables age retention).
+// NewStore returns an in-memory store retaining up to capacity events
+// (default 4096 if capacity ≤ 0), collapsing identical consecutive
+// per-board events within the dedup window, and dropping events older
+// than maxAge relative to the newest (0 disables age retention).
 func NewStore(capacity int, window, maxAge time.Duration) *Store {
-	if capacity <= 0 {
-		capacity = 4096
+	return wrapStore(eventstore.NewMemory(capacity, window, maxAge))
+}
+
+// OpenStore opens (creating if needed) a durable store journaled to a
+// segmented log under dir, with the same dedup/retention semantics as
+// NewStore. segmentBytes and maxSegments parameterize rotation and
+// snapshot compaction (≤ 0 take the eventstore defaults).
+func OpenStore(dir string, capacity int, window, maxAge time.Duration, segmentBytes, maxSegments int) (*Store, error) {
+	be, err := eventstore.OpenLog(dir, eventstore.LogOptions{
+		Capacity:     capacity,
+		DedupWindow:  window,
+		RetainAge:    maxAge,
+		SegmentBytes: segmentBytes,
+		MaxSegments:  maxSegments,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Store{
-		cap:         capacity,
-		window:      window,
-		maxAge:      maxAge,
-		now:         func() time.Duration { return 0 },
-		lastByBoard: map[string]int{},
-	}
+	return wrapStore(be), nil
+}
+
+// wrapStore builds the typed facade over a backend.
+func wrapStore(be eventstore.Store) *Store {
+	return &Store{be: be, now: func() time.Duration { return 0 }}
 }
 
 // SetClock injects the time source used to stamp appended events. Nil
@@ -182,62 +216,22 @@ func (s *Store) SetClock(now func() time.Duration) {
 	s.now = now
 }
 
-// Append records one event, stamping it from the store clock and applying
-// dedup and retention. Nil-safe.
-func (s *Store) Append(e Event) {
+// Append records one event, stamping it from the store clock and
+// applying dedup and retention. It returns how many old events retention
+// evicted on this append (the eviction metric's increment). A durable
+// backend's write error is sticky and surfaced by Err, not here — the
+// in-memory view keeps advancing either way. Nil-safe.
+func (s *Store) Append(e Event) (evicted int) {
 	if s == nil {
-		return
+		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	at := s.now()
-	key := dedupKey{board: e.Board, kind: e.Kind, state: e.State, mv: e.MV, msg: e.Msg}
-	if idx, ok := s.lastByBoard[e.Board]; ok && s.window > 0 && idx < len(s.events) {
-		last := &s.events[idx]
-		lastKey := dedupKey{board: last.Board, kind: last.Kind, state: last.State, mv: last.MV, msg: last.Msg}
-		ref := last.LastAt
-		if ref == 0 {
-			ref = last.At
-		}
-		if lastKey == key && at-ref <= s.window {
-			last.Count++
-			last.LastAt = at
-			return
-		}
+	res, err := s.be.Append(recordOf(e, s.now()))
+	if err != nil && s.err == nil {
+		s.err = err
 	}
-	s.seq++
-	e.Seq = s.seq
-	e.At = at
-	e.Count = 1
-	e.LastAt = 0
-	s.events = append(s.events, e)
-	s.lastByBoard[e.Board] = len(s.events) - 1
-	s.retainLocked(at)
-}
-
-// retainLocked applies capacity and age retention after an append.
-func (s *Store) retainLocked(newest time.Duration) {
-	drop := 0
-	if s.maxAge > 0 {
-		for drop < len(s.events)-1 && s.events[drop].At < newest-s.maxAge {
-			drop++
-		}
-	}
-	if over := len(s.events) - drop - s.cap; over > 0 {
-		drop += over
-	}
-	if drop == 0 {
-		return
-	}
-	s.dropped += uint64(drop)
-	s.events = append(s.events[:0], s.events[drop:]...)
-	for board, idx := range s.lastByBoard {
-		if idx < drop {
-			delete(s.lastByBoard, board)
-		} else {
-			s.lastByBoard[board] = idx - drop
-		}
-	}
+	return res.Evicted
 }
 
 // Events returns a copy of the retained events in order. Nil-safe.
@@ -245,9 +239,12 @@ func (s *Store) Events() []Event {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Event(nil), s.events...)
+	recs := s.be.Records()
+	out := make([]Event, len(recs))
+	for i, r := range recs {
+		out[i] = eventOf(r)
+	}
+	return out
 }
 
 // EventsFor returns up to n most recent events of one board, oldest first
@@ -256,16 +253,13 @@ func (s *Store) EventsFor(board string, n int) []Event {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []Event
-	for _, e := range s.events {
-		if e.Board == board {
-			out = append(out, e)
-		}
+	recs := s.be.RecordsFor(board, n)
+	if len(recs) == 0 {
+		return nil
 	}
-	if n > 0 && len(out) > n {
-		out = out[len(out)-n:]
+	out := make([]Event, len(recs))
+	for i, r := range recs {
+		out[i] = eventOf(r)
 	}
 	return out
 }
@@ -275,9 +269,7 @@ func (s *Store) Len() int {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.events)
+	return s.be.Len()
 }
 
 // Dropped reports how many events retention evicted. Nil-safe.
@@ -285,9 +277,17 @@ func (s *Store) Dropped() uint64 {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
+	return s.be.Stats().Evicted
+}
+
+// Deduped reports how many appends collapsed into an existing event —
+// the count /api/fleet/health surfaces so the hub's gap detection can
+// tell dedup from eviction loss. Nil-safe.
+func (s *Store) Deduped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.be.Stats().Merges
 }
 
 // CountKind tallies retained events of one kind, summing dedup
@@ -296,15 +296,32 @@ func (s *Store) CountKind(k EventKind) int {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, e := range s.events {
-		if e.Kind == k {
-			n += e.Count
+	for _, r := range s.be.Records() {
+		if EventKind(r.Kind) == k {
+			n += r.Count
 		}
 	}
 	return n
+}
+
+// Err reports the sticky backend error, if the durable journal has
+// failed (the in-memory state is still live). Nil-safe.
+func (s *Store) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close releases the backend, syncing a durable journal. Nil-safe.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.be.Close()
 }
 
 // WriteText dumps the retained events one per line — the byte-comparable

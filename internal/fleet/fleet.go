@@ -72,6 +72,17 @@ type Config struct {
 	// RetainAge drops events older than this relative to the newest
 	// (0 disables age retention).
 	RetainAge time.Duration
+	// StoreDir, when set, journals the event store to a durable segmented
+	// log in that directory (internal/eventstore) instead of the in-memory
+	// ring. Replaying the log reconstructs the run's retained events byte
+	// for byte. Use a fresh directory per run: opening a dir with history
+	// resumes its sequence numbers before the initial commit re-appends.
+	StoreDir string
+	// StoreSegmentBytes and StoreMaxSegments parameterize the durable
+	// log's rotation and snapshot compaction (≤ 0 take the eventstore
+	// defaults). Ignored without StoreDir.
+	StoreSegmentBytes int
+	StoreMaxSegments  int
 	// Corners are cycled across boards (default TTT, TFF, TSS — a mixed-
 	// silicon fleet).
 	Corners []silicon.Corner
@@ -395,6 +406,7 @@ type Fleet interface {
 	Now() time.Duration
 	SetMetrics(r *obs.Registry)
 	SetTracer(t *trace.Tracer)
+	Close() error
 }
 
 var (
@@ -470,14 +482,30 @@ const maxTransitions = 8192
 // (dump lines and JSON snapshots key on it).
 func boardID(i int) string { return fmt.Sprintf("board-%02d", i) }
 
-// initState wires the store and clock hooks of a fresh fleet state.
-func (st *fleetState) initState(cfg Config) {
+// initState wires the store and clock hooks of a fresh fleet state. With
+// Config.StoreDir set the store journals to the durable segmented log;
+// opening that log can fail (bad directory, torn-beyond-repair disk).
+func (st *fleetState) initState(cfg Config) error {
 	st.cfg = cfg
-	st.store = NewStore(cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge)
+	if cfg.StoreDir != "" {
+		s, err := OpenStore(cfg.StoreDir, cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge,
+			cfg.StoreSegmentBytes, cfg.StoreMaxSegments)
+		if err != nil {
+			return err
+		}
+		st.store = s
+	} else {
+		st.store = NewStore(cfg.StoreCap, cfg.DedupWindow, cfg.RetainAge)
+	}
 	st.store.SetClock(func() time.Duration { return st.clock })
 	st.dirtyGens = make([]uint64, dirtyLogGens)
 	st.dirtyIdx = make([][]int, dirtyLogGens)
+	return nil
 }
+
+// Close releases the fleet's event store, syncing a durable journal to
+// disk. The manager must not be used afterwards.
+func (st *fleetState) Close() error { return st.store.Close() }
 
 // buildBoard fabricates board i's die from a seed derived off the master
 // seed, characterizes its safe floor by bisection (the fast §2.2
@@ -525,10 +553,12 @@ func (st *fleetState) commitInitial() {
 	st.status = make([]BoardStatus, 0, len(st.boards))
 	st.changed = make([]uint64, len(st.boards))
 	for i, b := range st.boards {
-		st.store.Append(Event{
+		if n := st.store.Append(Event{
 			Board: b.id, Kind: UndervoltApplied, MV: int(b.voltage()),
 			Msg: fmt.Sprintf("floor %v + margin %v", b.floor, b.gb.marginMV()),
-		})
+		}); n > 0 {
+			st.m.evicted.Add(float64(n))
+		}
 		st.m.events.With(UndervoltApplied.String()).Inc()
 		s := b.status(0)
 		st.status = append(st.status, s)
@@ -547,7 +577,9 @@ func New(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	suite := workload.PrimarySuite()
 	m := &Manager{}
-	m.initState(cfg)
+	if err := m.initState(cfg); err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Boards; i++ {
 		b, err := buildBoard(&m.cfg, suite, i)
 		if err != nil {
@@ -674,7 +706,9 @@ func (st *fleetState) commitLocked(o *pollOutcome, gen uint64) {
 	st.clock = o.due
 	st.vclock.Store(int64(o.due))
 	for _, e := range o.events {
-		st.store.Append(e)
+		if n := st.store.Append(e); n > 0 {
+			st.m.evicted.Add(float64(n))
+		}
 		st.m.events.With(e.Kind.String()).Inc()
 	}
 	if t := o.transition; t != nil {
@@ -762,10 +796,16 @@ type StateCount struct {
 
 // HealthSummary is the fleet-wide aggregation served by /api/fleet/health.
 type HealthSummary struct {
-	Boards        int           `json:"boards"`
-	Polls         uint64        `json:"polls"`
-	Events        int           `json:"events"`
-	DroppedEvents uint64        `json:"dropped_events"`
+	Boards int    `json:"boards"`
+	Polls  uint64 `json:"polls"`
+	Events int    `json:"events"`
+	// DroppedEvents counts events evicted by store retention — events
+	// genuinely absent from the store. The hub's gap detection treats
+	// these as explained loss; anything beyond them is a real gap.
+	DroppedEvents uint64 `json:"dropped_events"`
+	// DedupedEvents counts appends collapsed into an existing event's
+	// multiplicity — not loss; the hub must not flag them as gaps.
+	DedupedEvents uint64        `json:"deduped_events"`
 	Transitions   int           `json:"transitions"`
 	States        []StateCount  `json:"states"`
 	Status        string        `json:"status"`
@@ -785,6 +825,7 @@ func (st *fleetState) Health() HealthSummary {
 		Polls:         st.polled,
 		Events:        st.store.Len(),
 		DroppedEvents: st.store.Dropped(),
+		DedupedEvents: st.store.Deduped(),
 		Transitions:   len(st.transitions),
 		VirtualNow:    st.clock,
 	}

@@ -21,6 +21,7 @@ type fleetMetrics struct {
 	runs        *obs.Counter
 	reboots     *obs.Counter
 	events      *obs.CounterVec // kind
+	evicted     *obs.Counter    // events dropped by store retention
 	transitions *obs.CounterVec // to-state
 	stateBoards *obs.GaugeVec   // state → number of boards
 	boardMV     *obs.GaugeVec   // board → operating rail mV
@@ -47,6 +48,8 @@ func (st *fleetState) SetMetrics(r *obs.Registry) {
 			"Watchdog power cycles across the fleet."),
 		events: r.CounterVec("xvolt_fleet_events_total",
 			"Fleet events recorded, by kind (dedup multiplicities counted).", "kind"),
+		evicted: r.Counter("xvolt_fleet_events_evicted_total",
+			"Fleet events evicted by store retention (capacity or age) — real loss, unlike dedup merges."),
 		transitions: r.CounterVec("xvolt_fleet_transitions_total",
 			"Health-state transitions, by destination state.", "state"),
 		stateBoards: r.GaugeVec("xvolt_fleet_boards",

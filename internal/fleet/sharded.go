@@ -62,7 +62,9 @@ func NewSharded(cfg Config) (*ShardedManager, error) {
 	cfg = cfg.withDefaults()
 	suite := workload.PrimarySuite()
 	m := &ShardedManager{}
-	m.initState(cfg)
+	if err := m.initState(cfg); err != nil {
+		return nil, err
+	}
 	m.boards = make([]*board, cfg.Boards)
 	m.shardOf = make([]int, cfg.Boards)
 

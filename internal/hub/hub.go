@@ -1,0 +1,386 @@
+// Package hub is the aggregation tier: one xvolt-hub daemon receives
+// event/status pushes from many xvolt-fleet daemons (client-push over
+// api/v1, POST /api/hub/ingest) and merges them into a global board
+// view served on the same /api/* surface a single fleet exposes.
+//
+// Replication model: each source numbers its events with the store's
+// dense per-source sequence (seq 1, 2, 3, …; dedup merges re-touch an
+// existing seq instead of minting one). The hub upserts by (source,
+// seq): a new seq is appended, a changed body (a dedup merge raising
+// Count/LastAt) updates in place, an identical body is a duplicate —
+// which is what makes pushes idempotent and retries safe.
+//
+// Gap detection: the seq space is dense, so any seq the hub never saw
+// was either evicted at the source before the first push that could
+// have carried it, or lost in transit. Sources report their eviction
+// counter in the pushed health summary; the hub charges missing seqs
+// against it and flags only the unexplained remainder as gaps. Dedup
+// merges never consume a seq, so they can never masquerade as loss.
+//
+// Determinism: the hub's per-source state is a pure function of the
+// ingested request sequence. Rendering a source's dump replays the
+// exact text the source's own store would print — byte-identical when
+// no retention eviction trimmed the source between pushes — which the
+// hub tests and the CI smoke step pin against `xvolt-fleet -dump`.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apiv1 "xvolt/api/v1"
+)
+
+// source is one fleet daemon's replicated state.
+type source struct {
+	name   string
+	gen    uint64 // source-reported snapshot generation
+	vnow   time.Duration
+	pushes uint64
+
+	boards   map[string]apiv1.BoardStatus
+	boardIDs []string // sorted board ids (map iteration never reaches output)
+
+	events   map[uint64]apiv1.Event
+	eventSeq []uint64 // ascending seqs
+	maxSeq   uint64
+
+	transitions map[uint64]apiv1.Transition
+	transSeq    []uint64 // ascending seqs
+
+	health *apiv1.HealthSummary
+}
+
+// gaps is the unexplained missing-seq count: seqs in [1, maxSeq] the
+// hub never saw, minus the evictions the source itself reported.
+func (s *source) gaps() uint64 {
+	missing := s.maxSeq - uint64(len(s.events))
+	var evicted uint64
+	if s.health != nil {
+		evicted = s.health.DroppedEvents
+	}
+	if missing <= evicted {
+		return 0
+	}
+	return missing - evicted
+}
+
+// nextSeq is the lowest event seq not yet seen from this source.
+func (s *source) nextSeq() uint64 { return s.maxSeq + 1 }
+
+// Hub aggregates pushed fleet state. Construct with New; safe for
+// concurrent use.
+type Hub struct {
+	mu      sync.Mutex
+	sources map[string]*source
+	names   []string // sorted source names
+
+	// gen counts state-changing ingests; the HTTP layer keys ETags off
+	// it exactly as a fleet keys them off its snapshot generation.
+	gen atomic.Uint64
+
+	m hubMetrics
+}
+
+// New returns an empty hub.
+func New() *Hub {
+	return &Hub{sources: map[string]*source{}}
+}
+
+// Generation returns the hub's aggregate-view generation. It changes
+// exactly when an ingest changes the observable state.
+func (h *Hub) Generation() uint64 { return h.gen.Load() }
+
+// ErrBadSource rejects ingests with an unusable source name.
+var ErrBadSource = errors.New("hub: source name must be non-empty and must not contain '/'")
+
+// Ingest folds one push into the hub's view, returning what changed.
+// Idempotent: replaying a push yields all-duplicates and no state
+// change.
+func (h *Hub) Ingest(req apiv1.IngestRequest) (apiv1.IngestResponse, error) {
+	if req.Source == "" || strings.Contains(req.Source, "/") {
+		return apiv1.IngestResponse{}, ErrBadSource
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	s, ok := h.sources[req.Source]
+	if !ok {
+		s = &source{
+			name:        req.Source,
+			boards:      map[string]apiv1.BoardStatus{},
+			events:      map[uint64]apiv1.Event{},
+			transitions: map[uint64]apiv1.Transition{},
+		}
+		h.sources[req.Source] = s
+		i := sort.SearchStrings(h.names, req.Source)
+		h.names = append(h.names, "")
+		copy(h.names[i+1:], h.names[i:])
+		h.names[i] = req.Source
+	}
+
+	changed := !ok
+	s.pushes++
+	if req.Generation > s.gen {
+		s.gen = req.Generation
+		changed = true
+	}
+	if req.VirtualNow > s.vnow {
+		s.vnow = req.VirtualNow
+		changed = true
+	}
+
+	resp := apiv1.IngestResponse{Source: req.Source}
+	for _, b := range req.Boards {
+		old, seen := s.boards[b.ID]
+		if !seen {
+			i := sort.SearchStrings(s.boardIDs, b.ID)
+			s.boardIDs = append(s.boardIDs, "")
+			copy(s.boardIDs[i+1:], s.boardIDs[i:])
+			s.boardIDs[i] = b.ID
+		}
+		if !seen || old != b {
+			s.boards[b.ID] = b
+			changed = true
+		}
+	}
+	for _, e := range req.Events {
+		if e.Seq == 0 {
+			continue // never minted by a store; drop defensively
+		}
+		old, seen := s.events[e.Seq]
+		switch {
+		case !seen:
+			s.events[e.Seq] = e
+			s.insertEventSeq(e.Seq)
+			resp.NewEvents++
+			changed = true
+		case old != e:
+			s.events[e.Seq] = e
+			resp.UpdatedEvents++
+			changed = true
+		default:
+			resp.DuplicateEvents++
+		}
+	}
+	for _, t := range req.Transitions {
+		if t.Seq == 0 {
+			continue
+		}
+		if _, seen := s.transitions[t.Seq]; !seen {
+			s.transitions[t.Seq] = t
+			i := sort.Search(len(s.transSeq), func(i int) bool { return s.transSeq[i] >= t.Seq })
+			s.transSeq = append(s.transSeq, 0)
+			copy(s.transSeq[i+1:], s.transSeq[i:])
+			s.transSeq[i] = t.Seq
+			resp.NewTransitions++
+			changed = true
+		}
+	}
+	if req.Health != nil {
+		hv := *req.Health
+		if s.health == nil || !reflect.DeepEqual(*s.health, hv) {
+			changed = true
+		}
+		s.health = new(apiv1.HealthSummary)
+		*s.health = hv
+	}
+
+	resp.Gaps = s.gaps()
+	resp.NextSeq = s.nextSeq()
+	if changed {
+		h.gen.Add(1)
+	}
+	h.noteIngestLocked(resp)
+	return resp, nil
+}
+
+// insertEventSeq keeps eventSeq ascending; pushes arrive in seq order,
+// so the common case is a plain append.
+func (s *source) insertEventSeq(seq uint64) {
+	if n := len(s.eventSeq); n == 0 || s.eventSeq[n-1] < seq {
+		s.eventSeq = append(s.eventSeq, seq)
+	} else {
+		i := sort.Search(n, func(i int) bool { return s.eventSeq[i] >= seq })
+		s.eventSeq = append(s.eventSeq, 0)
+		copy(s.eventSeq[i+1:], s.eventSeq[i:])
+		s.eventSeq[i] = seq
+	}
+	if seq > s.maxSeq {
+		s.maxSeq = seq
+	}
+}
+
+// Sources reports every source's standing, sorted by name.
+func (h *Hub) Sources() []apiv1.HubSource {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]apiv1.HubSource, 0, len(h.names))
+	for _, name := range h.names {
+		s := h.sources[name]
+		hs := apiv1.HubSource{
+			Source:      s.name,
+			Generation:  s.gen,
+			VirtualNow:  s.vnow,
+			Boards:      len(s.boards),
+			Events:      len(s.events),
+			Transitions: len(s.transitions),
+			Pushes:      s.pushes,
+			NextSeq:     s.nextSeq(),
+			Gaps:        s.gaps(),
+		}
+		if s.health != nil {
+			hs.Evicted = s.health.DroppedEvents
+			hs.Deduped = s.health.DedupedEvents
+		}
+		out = append(out, hs)
+	}
+	return out
+}
+
+// Boards returns the global board view: every source's boards with ids
+// namespaced "source/board", sources and boards each in sorted order.
+func (h *Hub) Boards() []apiv1.BoardStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []apiv1.BoardStatus
+	for _, name := range h.names {
+		s := h.sources[name]
+		for _, id := range s.boardIDs {
+			b := s.boards[id]
+			b.ID = s.name + "/" + id
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BoardEvents returns up to n most recent replicated events of one
+// source's board, oldest first (n ≤ 0 means all). ok is false when the
+// source or board is unknown.
+func (h *Hub) BoardEvents(sourceName, board string, n int) (apiv1.BoardEvents, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, okSrc := h.sources[sourceName]
+	if !okSrc {
+		return apiv1.BoardEvents{}, false
+	}
+	if _, okBoard := s.boards[board]; !okBoard {
+		return apiv1.BoardEvents{}, false
+	}
+	doc := apiv1.BoardEvents{Board: sourceName + "/" + board}
+	for _, seq := range s.eventSeq {
+		if e := s.events[seq]; e.Board == board {
+			doc.Events = append(doc.Events, e)
+		}
+	}
+	if n > 0 && len(doc.Events) > n {
+		doc.Events = doc.Events[len(doc.Events)-n:]
+	}
+	return doc, true
+}
+
+// stateOrder is the canonical health-state ordering of the merged
+// summary (the same escalation order a fleet serves).
+var stateOrder = []string{"healthy", "degraded", "unhealthy", "recovering"}
+
+// Health merges every source's health summary into the global one.
+// VirtualNow is the laggiest source's clock — the horizon up to which
+// the aggregate view is complete.
+func (h *Hub) Health() apiv1.HealthSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := apiv1.HealthSummary{Status: "ok"}
+	counts := map[string]int{}
+	var savings float64
+	first := true
+	for _, name := range h.names {
+		s := h.sources[name]
+		out.Boards += len(s.boards)
+		out.Events += len(s.events)
+		out.Transitions += len(s.transitions)
+		if s.health != nil {
+			out.Polls += s.health.Polls
+			out.DroppedEvents += s.health.DroppedEvents
+			out.DedupedEvents += s.health.DedupedEvents
+			for _, sc := range s.health.States {
+				counts[sc.State] += sc.Boards
+			}
+			savings += s.health.MeanSavings * float64(s.health.Boards)
+			if statusRank(s.health.Status) > statusRank(out.Status) {
+				out.Status = s.health.Status
+			}
+		}
+		if first || s.vnow < out.VirtualNow {
+			out.VirtualNow = s.vnow
+		}
+		first = false
+	}
+	for _, state := range stateOrder {
+		out.States = append(out.States, apiv1.StateCount{State: state, Boards: counts[state]})
+	}
+	if out.Boards > 0 {
+		out.MeanSavings = savings / float64(out.Boards)
+	}
+	return out
+}
+
+// statusRank orders the merged status from best to worst.
+func statusRank(s string) int {
+	switch s {
+	case "degraded":
+		return 1
+	case "unhealthy":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// ErrNoSource is returned for dump requests against unknown sources.
+var ErrNoSource = errors.New("hub: no such source")
+
+// WriteSourceDump renders one source's replicated state in the fleet's
+// own dump format: the event store text, then "# health transitions",
+// then the transition log — byte-identical to `xvolt-fleet -dump` on
+// the source minus its header line, when no retention eviction trimmed
+// the source between pushes.
+func (h *Hub) WriteSourceDump(w io.Writer, sourceName string) error {
+	h.mu.Lock()
+	s, ok := h.sources[sourceName]
+	if !ok {
+		h.mu.Unlock()
+		return ErrNoSource
+	}
+	events := make([]apiv1.Event, 0, len(s.eventSeq))
+	for _, seq := range s.eventSeq {
+		events = append(events, s.events[seq])
+	}
+	transitions := make([]apiv1.Transition, 0, len(s.transSeq))
+	for _, seq := range s.transSeq {
+		transitions = append(transitions, s.transitions[seq])
+	}
+	h.mu.Unlock()
+
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "# health transitions"); err != nil {
+		return err
+	}
+	for _, t := range transitions {
+		if _, err := fmt.Fprintln(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

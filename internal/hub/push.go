@@ -1,0 +1,82 @@
+package hub
+
+import (
+	"context"
+	"time"
+
+	apiv1 "xvolt/api/v1"
+	clientv1 "xvolt/client/v1"
+	"xvolt/internal/fleet"
+)
+
+// Pusher replicates one fleet into a hub: each Push sends the event and
+// transition tail that changed since the previous successful push, plus
+// the full board snapshot and health counters.
+//
+// The delta rule rides on the store's dedup semantics: a dedup merge
+// only ever touches an event whose LastAt advances to the merge time,
+// so every event created or merged since the last push satisfies
+// At >= lastPush or LastAt >= lastPush. Boundary events are resent —
+// the hub's (source, seq) upsert absorbs them as duplicates — which is
+// also what makes a retried or replayed push harmless.
+type Pusher struct {
+	c      *clientv1.Client
+	source string
+	f      fleet.Fleet
+
+	started bool
+	lastAt  time.Duration // fleet virtual time of the last successful push
+	lastT   uint64        // highest transition seq already pushed
+}
+
+// NewPusher wires a fleet to a hub client under the given source name
+// (the hub rejects names containing '/').
+func NewPusher(c *clientv1.Client, source string, f fleet.Fleet) *Pusher {
+	return &Pusher{c: c, source: source, f: f}
+}
+
+// Push sends one incremental batch (everything, on the first call). On
+// error nothing is marked pushed: the next Push resends the same tail,
+// and the hub deduplicates.
+func (p *Pusher) Push(ctx context.Context) (apiv1.IngestResponse, error) {
+	now := p.f.Now()
+	var events []apiv1.Event
+	for _, e := range p.f.Store().Events() {
+		if !p.started || e.At >= p.lastAt || e.LastAt >= p.lastAt {
+			events = append(events, e.APIv1())
+		}
+	}
+	var transitions []apiv1.Transition
+	maxT := p.lastT
+	for _, t := range p.f.Transitions() {
+		if t.Seq > p.lastT {
+			transitions = append(transitions, t.APIv1())
+			if t.Seq > maxT {
+				maxT = t.Seq
+			}
+		}
+	}
+	boards := p.f.Boards()
+	wire := make([]apiv1.BoardStatus, len(boards))
+	for i, b := range boards {
+		wire[i] = b.APIv1()
+	}
+	health := p.f.Health().APIv1()
+	req := apiv1.IngestRequest{
+		Source:      p.source,
+		Generation:  p.f.Generation(),
+		VirtualNow:  now,
+		Boards:      wire,
+		Events:      events,
+		Transitions: transitions,
+		Health:      &health,
+	}
+	resp, err := p.c.Ingest(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	p.started = true
+	p.lastAt = now
+	p.lastT = maxT
+	return resp, nil
+}

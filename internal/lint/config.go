@@ -60,6 +60,12 @@ func DefaultConfig() Config {
 			// and machine pool — the exact-draw-order contract the batch ≡
 			// sequential equivalence rests on lives here.
 			"xvolt/internal/xgene",
+			// the event store and the aggregation tier are replay/ingest
+			// state machines — their outputs must be pure functions of the
+			// journaled operations and pushed requests.
+			"xvolt/internal/eventstore",
+			"xvolt/internal/hub",
+			"xvolt/client/v1",
 			// obs, trace and loadgen are scoped so their timing stays
 			// visible to the rule …
 			"xvolt/internal/obs",
@@ -75,6 +81,9 @@ func DefaultConfig() Config {
 			"xvolt/internal/obs":     {"time.Now"},
 			"xvolt/internal/trace":   {"time.Now"},
 			"xvolt/internal/loadgen": {"time.Now"},
+			// the client's one wall-clock touch is the default backoff
+			// timer behind the injectable WithSleep hook.
+			"xvolt/client/v1": {"time.NewTimer"},
 		},
 		SeedflowPkgs: []string{
 			"xvolt/internal/core",
@@ -84,6 +93,9 @@ func DefaultConfig() Config {
 			"xvolt/internal/fleet",
 			"xvolt/internal/loadgen",
 			"xvolt/internal/xgene",
+			"xvolt/internal/eventstore",
+			"xvolt/internal/hub",
+			"xvolt/client/v1",
 		},
 		SeedSources: []string{
 			"xvolt/internal/core.CampaignSeed",
@@ -107,6 +119,9 @@ func DefaultConfig() Config {
 			"(*xvolt/internal/fleet.fleetState).BoardsJSON",
 			"(*xvolt/internal/fleet.fleetState).BoardsDeltaJSON",
 			"(*xvolt/internal/fleet.Store).Append",
+			"(*xvolt/internal/eventstore.Memory).Append",
+			"(*xvolt/internal/eventstore.Log).Append",
+			"(*xvolt/internal/hub.Hub).Ingest",
 		},
 		DetflowAllow: nil,
 		// The benchgate-protected hot paths; hotalloc enforces the
@@ -117,6 +132,7 @@ func DefaultConfig() Config {
 			"(*xvolt/internal/fleet.board).poll",
 			"(*xvolt/internal/fleet.snapshotEncoder).encode",
 			"(*xvolt/internal/obs.HDR).Observe",
+			"(*xvolt/internal/eventstore.Log).Append",
 		},
 	}
 }

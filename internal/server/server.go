@@ -9,17 +9,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	apiv1 "xvolt/api/v1"
 	"xvolt/internal/core"
 	"xvolt/internal/csvutil"
 	"xvolt/internal/fleet"
 	"xvolt/internal/obs"
 	"xvolt/internal/trace"
-	"xvolt/internal/units"
 )
 
 // Server publishes one framework's study and, optionally, a fleet.
@@ -289,7 +290,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("ETag", fmt.Sprintf("\"fleet-%d\"", gen))
-		w.Header().Set("X-Fleet-Generation", strconv.FormatUint(gen, 10))
+		w.Header().Set(apiv1.GenerationHeader, strconv.FormatUint(gen, 10))
 		if body == nil {
 			w.WriteHeader(http.StatusNotModified)
 			return
@@ -306,7 +307,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	// BoardsJSON may have observed a newer commit than the pre-check;
 	// re-stamp the ETag so it always matches the body served.
 	w.Header().Set("ETag", fmt.Sprintf("\"fleet-%d\"", gen))
-	w.Header().Set("X-Fleet-Generation", strconv.FormatUint(gen, 10))
+	w.Header().Set(apiv1.GenerationHeader, strconv.FormatUint(gen, 10))
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_, _ = w.Write(body)
 }
@@ -354,7 +355,7 @@ func (s *Server) healthBody(m fleet.Fleet) (uint64, []byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(h); err != nil {
+	if err := enc.Encode(h.APIv1()); err != nil {
 		return gen, nil, err
 	}
 	s.fleetCache.f = m
@@ -417,13 +418,14 @@ func (s *Server) eventsBody(m fleet.Fleet, id string, n int) (uint64, []byte, er
 			gen = g
 		}
 	}
+	doc := apiv1.BoardEvents{Board: id, Events: make([]apiv1.Event, len(events))}
+	for i, e := range events {
+		doc.Events[i] = e.APIv1()
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(struct {
-		Board  string        `json:"board"`
-		Events []fleet.Event `json:"events"`
-	}{id, events}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		return gen, nil, err
 	}
 	slot := &s.fleetCache.events[s.fleetCache.evNext]
@@ -445,27 +447,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.Handler(reg).ServeHTTP(w, r)
 }
 
-// statusDTO is the /api/status payload.
-type statusDTO struct {
-	Chip          string             `json:"chip"`
-	Responsive    bool               `json:"responsive"`
-	BootCount     int                `json:"boot_count"`
-	Recoveries    int                `json:"watchdog_recoveries"`
-	PMDVoltageMV  int                `json:"pmd_voltage_mv"`
-	SoCVoltageMV  int                `json:"soc_voltage_mv"`
-	Frequencies   [4]units.MegaHertz `json:"pmd_frequencies_mhz"`
-	PowerWatts    float64            `json:"power_watts"`
-	TemperatureC  float64            `json:"temperature_c"`
-	CampaignsDone int                `json:"campaigns_done"`
-}
-
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.fw == nil {
 		http.Error(w, "no study attached", http.StatusNotFound)
 		return
 	}
 	m := s.fw.Machine()
-	dto := statusDTO{
+	dto := apiv1.Status{
 		Chip:          m.Chip().Name,
 		Responsive:    m.Responsive(),
 		BootCount:     m.BootCount(),
@@ -477,39 +465,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CampaignsDone: len(s.snapshot()),
 	}
 	for pmd := 0; pmd < 4; pmd++ {
-		dto.Frequencies[pmd] = m.PMDFrequency(pmd)
+		dto.Frequencies[pmd] = int(m.PMDFrequency(pmd))
 	}
 	writeJSON(w, dto)
 }
 
-// stepDTO / campaignDTO are the /api/results payload.
-type stepDTO struct {
-	VoltageMV int     `json:"voltage_mv"`
-	Runs      int     `json:"runs"`
-	SDC       int     `json:"sdc"`
-	CE        int     `json:"ce"`
-	UE        int     `json:"ue"`
-	AC        int     `json:"ac"`
-	SC        int     `json:"sc"`
-	Severity  float64 `json:"severity"`
-	Region    string  `json:"region"`
-}
-
-type campaignDTO struct {
-	Chip         string    `json:"chip"`
-	Benchmark    string    `json:"benchmark"`
-	Input        string    `json:"input"`
-	Core         int       `json:"core"`
-	FrequencyMHz int       `json:"frequency_mhz"`
-	SafeVminMV   int       `json:"safe_vmin_mv,omitempty"`
-	CrashVmaxMV  int       `json:"crash_vmax_mv,omitempty"`
-	Steps        []stepDTO `json:"steps"`
-}
-
 func (s *Server) handleResultsJSON(w http.ResponseWriter, r *http.Request) {
-	var out []campaignDTO
+	var out []apiv1.Campaign
 	for _, c := range s.snapshot() {
-		dto := campaignDTO{
+		dto := apiv1.Campaign{
 			Chip: c.Chip, Benchmark: c.Benchmark, Input: c.Input,
 			Core: c.Core, FrequencyMHz: int(c.Frequency),
 		}
@@ -520,7 +484,7 @@ func (s *Server) handleResultsJSON(w http.ResponseWriter, r *http.Request) {
 			dto.CrashVmaxMV = int(v)
 		}
 		for _, st := range c.Steps {
-			dto.Steps = append(dto.Steps, stepDTO{
+			dto.Steps = append(dto.Steps, apiv1.Step{
 				VoltageMV: int(st.Voltage),
 				Runs:      st.Tally.N,
 				SDC:       st.Tally.SDC, CE: st.Tally.CE, UE: st.Tally.UE,
@@ -615,12 +579,44 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no alerts attached", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, struct {
-		Alerts      []obs.Alert           `json:"alerts"`
-		Firing      int                   `json:"firing"`
-		Evals       uint64                `json:"evals"`
-		Transitions []obs.AlertTransition `json:"transitions"`
-	}{e.Alerts(), len(e.Firing()), e.Evals(), e.Transitions()})
+	writeJSON(w, alertsDoc(e))
+}
+
+// alertsDoc converts the engine's state into the api/v1 alerts document.
+func alertsDoc(e *obs.AlertEngine) apiv1.Alerts {
+	doc := apiv1.Alerts{Firing: len(e.Firing()), Evals: e.Evals()}
+	for _, a := range e.Alerts() {
+		doc.Alerts = append(doc.Alerts, apiv1.Alert{
+			Rule:      a.Rule,
+			Severity:  a.Severity,
+			Kind:      a.Kind,
+			State:     a.State.String(),
+			Value:     nullable(float64(a.Value)),
+			Threshold: a.Threshold,
+			Since:     a.Since,
+			LastEval:  a.LastEval,
+			Help:      a.Help,
+		})
+	}
+	for _, t := range e.Transitions() {
+		doc.Transitions = append(doc.Transitions, apiv1.AlertTransition{
+			Seq:   t.Seq,
+			At:    t.At,
+			Rule:  t.Rule,
+			To:    t.To.String(),
+			Value: nullable(float64(t.Value)),
+		})
+	}
+	return doc
+}
+
+// nullable maps the engine's NaN-means-undefined convention onto the
+// wire's null.
+func nullable(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
